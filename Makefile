@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz tables cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark; full runs use plain `go test -bench`.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x .
+
+fuzz:
+	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 15s ./internal/graph
+	$(GO) test -fuzz FuzzReadJSON -fuzztime 15s ./internal/coloring
+	$(GO) test -fuzz FuzzSolve -fuzztime 30s ./internal/twosweep
+
+# Regenerate the EXPERIMENTS.md tables (markdown on stdout).
+tables:
+	$(GO) run ./cmd/benchtab -markdown
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out

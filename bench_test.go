@@ -1,0 +1,469 @@
+package listcolor
+
+// One testing.B benchmark per experiment of DESIGN.md's index (E1–E12)
+// plus micro-benchmarks of the substrate. Each benchmark reports the
+// simulated round count via b.ReportMetric so `go test -bench` output
+// doubles as a compact reproduction record; cmd/benchtab produces the
+// full tables.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"listcolor/internal/baseline"
+	"listcolor/internal/bench"
+	"listcolor/internal/classic"
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+	"listcolor/internal/nbhood"
+	"listcolor/internal/sim"
+	"listcolor/internal/twosweep"
+)
+
+func benchGraph(b *testing.B, n, deg int) (*Graph, *Digraph, []int, int) {
+	b.Helper()
+	g := NewRandomRegular(n, deg, 1)
+	d := OrientByID(g)
+	base, err := LinialColor(g, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, d, base.Colors, base.Palette
+}
+
+// BenchmarkTwoSweepRounds is E1: Algorithm 1 on a fixed workload;
+// rounds are exactly 2q+1.
+func BenchmarkTwoSweepRounds(b *testing.B) {
+	_, d, base, q := benchGraph(b, 256, 8)
+	p := 2
+	inst := NewMinSlackInstance(d, 4*p*p+16, p, 0, 2)
+	b.ReportAllocs()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := TwoSweep(d, inst, base, q, p, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkTwoSweepDefect is E2: minimum-slack adversarial instances,
+// validation included in the measured loop.
+func BenchmarkTwoSweepDefect(b *testing.B) {
+	g, d, base, q := benchGraph(b, 128, 6)
+	_ = g
+	p := 3
+	inst := NewMinSlackInstance(d, 4*p*p+20, p, 0, 3)
+	for i := 0; i < b.N; i++ {
+		res, err := TwoSweep(d, inst, base, q, p, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ValidateOLDC(d, inst, res.Colors); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFastTwoSweep is E3: the ε > 0 path on a large-q input.
+func BenchmarkFastTwoSweep(b *testing.B) {
+	n := 1024
+	g := NewRandomRegular(n, 6, 4)
+	d := OrientByID(g)
+	ids := make([]int, n)
+	for v := range ids {
+		ids[v] = v
+	}
+	p, eps := 2, 1.0
+	inst := NewMinSlackInstance(d, 4*p*p+24, p, eps, 5)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := TwoSweepFast(d, inst, ids, n, p, eps, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(2*n+1), "plain-rounds")
+}
+
+// BenchmarkColorSpaceReduction is E4, swept over C.
+func BenchmarkColorSpaceReduction(b *testing.B) {
+	for _, c := range []int{64, 1024} {
+		c := c
+		b.Run("C="+itoa(c), func(b *testing.B) {
+			g, d, base, q := benchGraph(b, 64, 6)
+			rng := rand.New(rand.NewSource(6))
+			inst := coloring.WithOrientedSlack(d, c, 3*math.Sqrt(float64(c)), rng)
+			_ = g
+			var rounds, bits int
+			for i := 0; i < b.N; i++ {
+				res, err := ReduceColorSpace(d, inst, base, q, Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds, bits = res.Stats.Rounds, res.Stats.MaxMessageBits
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(bits), "max-msg-bits")
+		})
+	}
+}
+
+// BenchmarkDegPlusOne is E5, swept over Δ.
+func BenchmarkDegPlusOne(b *testing.B) {
+	for _, deg := range []int{4, 8, 16} {
+		deg := deg
+		b.Run("delta="+itoa(deg), func(b *testing.B) {
+			g := NewRandomRegular(32*deg, deg, 7)
+			inst := NewDegreePlusOneInstance(g, deg+1, 8)
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := ColorDegPlusOne(g, inst, Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Stats.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkLocalComputation is E6: the Phase-I selection, sort vs the
+// [MT20, FK23a]-style exhaustive subset search, swept over the list
+// size Λ.
+func BenchmarkLocalComputation(b *testing.B) {
+	for _, lambda := range []int{8, 16, 20} {
+		lambda := lambda
+		list := make([]int, lambda)
+		defects := make([]int, lambda)
+		k := make(map[int]int)
+		rng := rand.New(rand.NewSource(9))
+		for i := range list {
+			list[i] = i * 2
+			defects[i] = rng.Intn(8)
+			k[list[i]] = rng.Intn(5)
+		}
+		b.Run("sort/lambda="+itoa(lambda), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				baseline.SelectSort(list, defects, k, 3)
+			}
+		})
+		b.Run("bruteforce/lambda="+itoa(lambda), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baseline.SelectBruteForce(list, defects, k, 3)
+			}
+		})
+	}
+}
+
+// BenchmarkDefectiveFromArb is E7: Theorem 1.4 on a line graph (θ≤2).
+func BenchmarkDefectiveFromArb(b *testing.B) {
+	lg, _ := LineGraph(NewRandomRegular(14, 3, 10))
+	base, err := LinialColor(lg, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	theta, s := 2, 2
+	need := nbhood.Theorem14Slack(theta, lg.MaxDegree(), s)
+	inst := coloring.WithSlack(lg, 2*need*lg.MaxDegree()+40, float64(need)+1, rng)
+	arb := nbhood.ArbSlack2Solver(theta, sim.Config{})
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		colors, stats, err := nbhood.DefectiveFromArb(lg, inst, base.Colors, base.Palette, theta, s, arb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := coloring.ValidateListDefective(lg, inst, colors); err != nil {
+			b.Fatal(err)
+		}
+		rounds = stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkNbhoodRecursion is E8: the full Theorem 1.5 pipeline via
+// (2Δ−1)-edge coloring.
+func BenchmarkNbhoodRecursion(b *testing.B) {
+	g := NewComplete(6)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		_, _, stats, err := EdgeColor(g, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkThreeColorDefective is E9.
+func BenchmarkThreeColorDefective(b *testing.B) {
+	g := NewRing(1024)
+	d := OrientByID(g)
+	base, err := LinialColor(g, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := coloring.ThreeColor(g.N(), d.MaxBeta())
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := TwoSweep(d, inst, base.Colors, base.Palette, 1, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkBoundedOutdegreeList is E10: zero-defect lists of size
+// β²+β+1 on a degeneracy-oriented graph.
+func BenchmarkBoundedOutdegreeList(b *testing.B) {
+	g := NewGrid(12, 12)
+	d := OrientByDegeneracy(g)
+	beta := d.MaxBeta()
+	p := beta + 1
+	base, err := LinialColor(g, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	listSize := beta*beta + beta + 1
+	inst := NewUniformInstance(g.N(), 4*listSize+8, listSize, 0, 12)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := TwoSweep(d, inst, base.Colors, base.Palette, p, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkSlackReduction is E11: Lemma 4.4 with the real slack-2
+// subroutine plugged in.
+func BenchmarkSlackReduction(b *testing.B) {
+	g := NewRing(64)
+	base, err := LinialColor(g, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	inst := coloring.WithSlack(g, 64, 4.5, rng)
+	arb := nbhood.ArbSlack2Solver(2, sim.Config{})
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, stats, err := nbhood.SlackReduce2(g, inst, base.Colors, base.Palette, 4, arb, sim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ValidateListArbdefective(g, inst, res); err != nil {
+			b.Fatal(err)
+		}
+		rounds = stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkBaselines is E12: the comparison algorithms on a shared
+// workload.
+func BenchmarkBaselines(b *testing.B) {
+	g := NewRandomRegular(200, 6, 14)
+	inst := NewDegreePlusOneInstance(g, 7, 15)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := GreedyList(g, inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("luby", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			_, stats, err := LubyColor(g, int64(i), Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = stats.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+	b.Run("paper", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			res, err := ColorDegPlusOne(g, inst, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.Stats.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+}
+
+// BenchmarkClassicSweeps is E13: the classical single-sweep and
+// product constructions.
+func BenchmarkClassicSweeps(b *testing.B) {
+	g := NewRandomRegular(100, 8, 17)
+	base, err := LinialColor(g, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single-sweep-arb", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			_, _, _, stats, err := classic.SweepArb(g, base.Colors, base.Palette, 2, sim.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = stats.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+	b.Run("product-defective", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			_, stats, err := classic.ProductDefective(g, base.Colors, base.Palette, 3, sim.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = stats.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+}
+
+// BenchmarkUDGTheta is E14: the bounded-θ recursion vs the general
+// solver on a unit-disk workload.
+func BenchmarkUDGTheta(b *testing.B) {
+	gg := NewRandomGeometric(120, 0.1, 18)
+	inst := NewDegreePlusOneInstance(gg.Graph, gg.MaxDegree()+1, 19)
+	b.Run("theta5", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			res, err := SolveNeighborhood(gg.Graph, inst, 5, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.Stats.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+	b.Run("general", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			res, err := SolveArbdefective(gg.Graph, inst, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.Stats.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+}
+
+// BenchmarkSelectorsEndToEnd is E15: the full Two-Sweep protocol under
+// both Phase-I selection strategies; the reported local-op metrics are
+// deterministic.
+func BenchmarkSelectorsEndToEnd(b *testing.B) {
+	g := NewRandomRegular(60, 4, 20)
+	d := OrientByID(g)
+	base, err := LinialColor(g, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := 3
+	inst := NewMinSlackInstance(d, 4*p*p+16, p, 0, 21)
+	b.Run("sort", func(b *testing.B) {
+		var ops int64
+		for i := 0; i < b.N; i++ {
+			res, err := twosweep.SolveWithSelector(d, inst, base.Colors, base.Palette, p, twosweep.SortSelector, sim.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops = res.LocalOps
+		}
+		b.ReportMetric(float64(ops), "local-ops")
+	})
+	b.Run("subset-search", func(b *testing.B) {
+		var ops int64
+		for i := 0; i < b.N; i++ {
+			res, err := twosweep.SolveWithSelector(d, inst, base.Colors, base.Palette, p, baseline.SubsetSelector, sim.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops = res.LocalOps
+		}
+		b.ReportMetric(float64(ops), "local-ops")
+	})
+}
+
+// BenchmarkSimulatorDrivers micro-benchmarks the engine itself:
+// lockstep vs goroutine-per-node on the Linial protocol.
+func BenchmarkSimulatorDrivers(b *testing.B) {
+	g := NewRandomRegular(512, 8, 16)
+	b.Run("lockstep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := LinialColor(g, Config{Driver: Lockstep}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := LinialColor(g, Config{Driver: Goroutines}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHarnessQuick runs the entire experiment harness in quick
+// mode — the one-stop reproduction benchmark.
+func BenchmarkHarnessQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := bench.All(bench.Options{Seed: 1, Quick: true})
+		if len(tables) != 15 {
+			b.Fatal("harness incomplete")
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestBenchWorkloadsValid is a plain test guarding the benchmark
+// workloads: every benchmark's precondition must hold so `-bench` runs
+// never fail mid-flight.
+func TestBenchWorkloadsValid(t *testing.T) {
+	g := NewRandomRegular(256, 8, 1)
+	d := OrientByID(g)
+	inst := NewMinSlackInstance(d, 32, 2, 0, 2)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lg, _ := LineGraph(NewRandomRegular(14, 3, 10))
+	if theta := NeighborhoodIndependence(lg); theta > 2 {
+		t.Fatalf("line graph θ = %d > 2", theta)
+	}
+	_ = graph.CountColors // anchor the internal import used above
+}

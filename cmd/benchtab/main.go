@@ -1,0 +1,69 @@
+// Command benchtab regenerates the experiment tables recorded in
+// EXPERIMENTS.md: one table per theorem-validation experiment (E1–E12;
+// see DESIGN.md's experiment index).
+//
+// Examples:
+//
+//	benchtab                 # run everything
+//	benchtab -run E4         # one experiment
+//	benchtab -quick          # smaller sweeps
+//	benchtab -markdown       # markdown output (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"listcolor/internal/bench"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "", "run a single experiment by ID (e.g. E4); empty = all")
+		quick    = flag.Bool("quick", false, "smaller parameter sweeps")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		outPath  = flag.String("o", "", "write output to a file instead of stdout")
+	)
+	flag.Parse()
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+		}()
+		out = f
+	}
+
+	opt := bench.Options{Seed: *seed, Quick: *quick}
+	var tables []bench.Table
+	if *run != "" {
+		tb, err := bench.Run(*run, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		tables = []bench.Table{tb}
+	} else {
+		tables = bench.All(opt)
+	}
+	for i, tb := range tables {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if *markdown {
+			fmt.Fprint(out, tb.Markdown())
+		} else {
+			fmt.Fprint(out, tb.Format())
+		}
+	}
+}

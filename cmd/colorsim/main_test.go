@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"listcolor"
+	"listcolor/internal/workload"
+)
+
+// TestRunAllAlgorithms drives every algorithm branch of the CLI's run
+// function on a small graph — the smoke test keeping the tool from
+// rotting as the library evolves.
+func TestRunAllAlgorithms(t *testing.T) {
+	g, err := workload.Build("regular", workload.Params{N: 24, Degree: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := []string{
+		"linial", "defective", "twosweep", "fast", "csr",
+		"degplus1", "nbhood", "edgecolor", "luby", "greedy",
+	}
+	for _, algo := range algos {
+		if err := run(g, algo, 2, 1.0, 0.5, 0, 2, 1, true, listcolor.Config{}); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+	if err := run(g, "nosuch", 2, 1.0, 0.5, 0, 2, 1, false, listcolor.Config{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.el")
+	g := listcolor.NewRing(9)
+	if err := saveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 9 || got.M() != 9 {
+		t.Errorf("round trip: %v", got)
+	}
+	if _, err := loadGraph(filepath.Join(dir, "missing.el")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadGraph(path); err == nil {
+		t.Error("garbage file accepted")
+	}
+}
+
+func TestRunWithCongestCap(t *testing.T) {
+	g, err := workload.Build("ring", workload.Params{N: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous cap should pass; a 1-bit cap should fail.
+	if err := run(g, "linial", 2, 1.0, 0.5, 0, 2, 1, false, listcolor.Config{BandwidthBits: 64}); err != nil {
+		t.Errorf("generous cap failed: %v", err)
+	}
+	if err := run(g, "linial", 2, 1.0, 0.5, 0, 2, 1, false, listcolor.Config{BandwidthBits: 1}); err == nil {
+		t.Error("1-bit cap passed")
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"listcolor"
+)
+
+// TestExplainNodeHappyPath drives the Figure 1 renderer on a valid
+// node; it prints to stdout, so the test only guards against panics
+// and regressions in the decomposition logic.
+func TestExplainNodeHappyPath(t *testing.T) {
+	g := listcolor.NewGrid(4, 4)
+	explainNode(g, 5)
+}

@@ -1,0 +1,52 @@
+// Package listcolor is a library for distributed list defective graph
+// coloring, reproducing "Simpler and More General Distributed Coloring
+// Based on Simple List Defective Coloring Algorithms" (Fuchs, Kuhn;
+// PODC 2024).
+//
+// # Problems
+//
+// In a list defective coloring instance, every node v of a graph gets
+// a color list L_v and a defect function d_v: it must output a color
+// x ∈ L_v such that at most d_v(x) neighbors pick x too. Three
+// variants differ in how conflicts are counted:
+//
+//   - list defective coloring: all neighbors count;
+//   - oriented list defective coloring (OLDC): an edge orientation is
+//     given and only out-neighbors count;
+//   - list arbdefective coloring: the algorithm must also output an
+//     orientation of the monochromatic edges and only out-neighbors
+//     under that output orientation count.
+//
+// Proper (deg+1)-list coloring and (Δ+1)-coloring are the all-defects-
+// zero special cases.
+//
+// # Algorithms
+//
+// The package exposes the paper's algorithms as functions over graphs
+// and instances, all executing on a synchronous message-passing
+// simulator of the LOCAL/CONGEST models that counts rounds, messages
+// and exact payload bits:
+//
+//   - TwoSweep / TwoSweepFast: Theorem 1.1, the core contribution —
+//     OLDC in O(q) resp. O(min{q, (p/ε)² + log* q}) rounds under the
+//     slack condition Σ(d_v(x)+1) > (1+ε)·max{p, |L_v|/p}·β_v.
+//   - ReduceColorSpace: Theorem 1.2 — OLDC with slack 3√C·β_v in
+//     O(log³C + log* q) rounds with O(log q + log C)-bit messages.
+//   - ColorDegPlusOne: Theorem 1.3's problem — proper (deg+1)-list
+//     coloring in CONGEST.
+//   - SolveNeighborhood / EdgeColor: Section 4 — list arbdefective
+//     coloring with slack 1 on graphs of bounded neighborhood
+//     independence θ, and (2Δ−1)-edge coloring via line graphs.
+//   - LinialColor / DefectiveColor: the classical O(log* n) building
+//     blocks ([Lin87] and Lemma 3.4 of the paper).
+//
+// # Quick start
+//
+//	g := listcolor.NewRandomRegular(200, 8, 1)
+//	inst := listcolor.NewDegreePlusOneInstance(g, 9, 1)
+//	res, err := listcolor.ColorDegPlusOne(g, inst, listcolor.Config{})
+//	// res.Colors is a proper coloring; res.Stats has rounds/messages.
+//
+// See the examples directory for runnable programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology.
+package listcolor

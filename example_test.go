@@ -1,0 +1,144 @@
+package listcolor_test
+
+import (
+	"fmt"
+
+	"listcolor"
+)
+
+// ExampleTwoSweep demonstrates the paper's core algorithm: an oriented
+// list defective coloring computed in exactly 2q+1 rounds.
+func ExampleTwoSweep() {
+	g := listcolor.NewRing(12)
+	d := listcolor.OrientByID(g)
+	base, _ := listcolor.LinialColor(g, listcolor.Config{})
+	p := 2
+	inst := listcolor.NewMinSlackInstance(d, 20, p, 0, 1)
+	res, err := listcolor.TwoSweep(d, inst, base.Colors, base.Palette, p, listcolor.Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("valid:", listcolor.ValidateOLDC(d, inst, res.Colors) == nil)
+	fmt.Println("rounds == 2q+1:", res.Stats.Rounds == 2*base.Palette+1)
+	// Output:
+	// valid: true
+	// rounds == 2q+1: true
+}
+
+// ExampleColorDegPlusOne computes a proper (deg+1)-list coloring.
+func ExampleColorDegPlusOne() {
+	g := listcolor.NewGrid(4, 4)
+	inst := listcolor.NewDegreePlusOneInstance(g, g.MaxDegree()+1, 2)
+	res, err := listcolor.ColorDegPlusOne(g, inst, listcolor.Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("proper:", listcolor.ValidateProperList(g, inst, res.Colors) == nil)
+	// Output:
+	// proper: true
+}
+
+// ExampleEdgeColor schedules the edges of K4 into 2Δ−1 matchings.
+func ExampleEdgeColor() {
+	g := listcolor.NewComplete(4)
+	colors, palette, _, err := listcolor.EdgeColor(g, listcolor.Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("palette:", palette)
+	fmt.Println("edges colored:", len(colors) == g.M())
+	// Output:
+	// palette: 5
+	// edges colored: true
+}
+
+// ExampleLinialColor shows the classical O(log* n) bootstrap.
+func ExampleLinialColor() {
+	g := listcolor.NewRing(1000)
+	res, err := listcolor.LinialColor(g, listcolor.Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("proper:", listcolor.IsProperColoring(g, res.Colors) == nil)
+	fmt.Println("palette is O(Δ²):", res.Palette <= 16*3*3)
+	fmt.Println("rounds ≤ log*(n)+4:", res.Stats.Rounds <= 9)
+	// Output:
+	// proper: true
+	// palette is O(Δ²): true
+	// rounds ≤ log*(n)+4: true
+}
+
+// ExampleSolveNeighborhood colors a ring (θ = 2) with the Section 4
+// recursion.
+func ExampleSolveNeighborhood() {
+	g := listcolor.NewRing(10)
+	inst := listcolor.NewDegreePlusOneInstance(g, 4, 3)
+	res, err := listcolor.SolveNeighborhood(g, inst, 2, listcolor.Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("proper:", listcolor.ValidateProperList(g, inst, res.Result.Colors) == nil)
+	fmt.Println("no monochromatic arcs:", len(res.Result.Arcs) == 0)
+	// Output:
+	// proper: true
+	// no monochromatic arcs: true
+}
+
+// ExampleHyperedgeColor schedules rank-3 hyperedges conflict-free.
+func ExampleHyperedgeColor() {
+	h := listcolor.NewHypergraph(5)
+	_ = h.AddEdge(0, 1, 2)
+	_ = h.AddEdge(2, 3, 4)
+	_ = h.AddEdge(0, 3)
+	colors, _, _, err := listcolor.HyperedgeColor(h, listcolor.Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("edges 0,1 share instrument 2 and differ:", colors[0] != colors[1])
+	fmt.Println("edges 0,2 share instrument 0 and differ:", colors[0] != colors[2])
+	// Output:
+	// edges 0,1 share instrument 2 and differ: true
+	// edges 0,2 share instrument 0 and differ: true
+}
+
+// ExampleTwoSweepFast shows the ε > 0 variant beating the plain sweep
+// on a large initial palette.
+func ExampleTwoSweepFast() {
+	n := 600
+	g := listcolor.NewRandomRegular(n, 6, 4)
+	d := listcolor.OrientByID(g)
+	ids := make([]int, n)
+	for v := range ids {
+		ids[v] = v // raw ids as the proper n-coloring: q = n is large
+	}
+	inst := listcolor.NewMinSlackInstance(d, 40, 2, 1.0, 5)
+	res, err := listcolor.TwoSweepFast(d, inst, ids, n, 2, 1.0, listcolor.Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("valid:", listcolor.ValidateOLDC(d, inst, res.Colors) == nil)
+	fmt.Println("beats plain 2q+1 sweep:", res.Stats.Rounds < 2*n+1)
+	// Output:
+	// valid: true
+	// beats plain 2q+1 sweep: true
+}
+
+// ExampleConfig_bandwidth shows CONGEST enforcement: the engine fails
+// a run whose messages exceed the cap.
+func ExampleConfig_bandwidth() {
+	g := listcolor.NewRing(64)
+	_, err := listcolor.LinialColor(g, listcolor.Config{BandwidthBits: 1})
+	fmt.Println("over-cap run rejected:", err != nil)
+	_, err = listcolor.LinialColor(g, listcolor.Config{BandwidthBits: 64})
+	fmt.Println("within-cap run accepted:", err == nil)
+	// Output:
+	// over-cap run rejected: true
+	// within-cap run accepted: true
+}

@@ -1,0 +1,55 @@
+// Edgecoloring: schedule a round-robin tournament by (2Δ−1)-edge
+// coloring the complete graph K_n with the Section 4 machinery
+// (Theorem 1.5 on the line graph, which has neighborhood independence
+// θ ≤ 2).
+//
+// Every edge of K_n is a match; edges of the same color form a
+// matching, i.e. a round in which every team plays at most once.
+//
+//	go run ./examples/edgecoloring
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"listcolor"
+)
+
+const teams = 7
+
+func main() {
+	g := listcolor.NewComplete(teams)
+	fmt.Printf("tournament: %d teams, %d matches\n", teams, g.M())
+
+	edgeColors, palette, stats, err := listcolor.EdgeColor(g, listcolor.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled into ≤ %d rounds (2Δ−1 palette) in %d simulated CONGEST rounds\n",
+		palette, stats.Rounds)
+
+	// Group matches by round and verify each round is a matching.
+	edges := g.Edges()
+	rounds := make(map[int][][2]int)
+	for i, e := range edges {
+		rounds[edgeColors[i]] = append(rounds[edgeColors[i]], e)
+	}
+	var order []int
+	for r := range rounds {
+		order = append(order, r)
+	}
+	sort.Ints(order)
+	for _, r := range order {
+		busy := make(map[int]bool)
+		for _, m := range rounds[r] {
+			if busy[m[0]] || busy[m[1]] {
+				log.Fatalf("round %d double-books a team: %v", r, rounds[r])
+			}
+			busy[m[0]], busy[m[1]] = true, true
+		}
+		fmt.Printf("round %2d: %v\n", r, rounds[r])
+	}
+	fmt.Printf("%d rounds used; every team plays at most once per round\n", len(order))
+}

@@ -1,0 +1,73 @@
+// Labscheduling: conflict-free scheduling of lab sessions as
+// HYPERGRAPH edge coloring — the bounded-rank-hypergraph application
+// of Section 4.
+//
+// Each lab session needs up to r shared instruments; two sessions that
+// share any instrument cannot run in the same time slot. Sessions are
+// hyperedges over the instrument set, so a proper hyperedge coloring
+// is exactly a conflict-free timetable — and since the line graph of a
+// rank-r hypergraph has neighborhood independence θ ≤ r, the
+// Theorem 1.5 machinery schedules it deterministically with
+// r·(D−1)+1 slots (D = the busiest instrument's session count).
+//
+//	go run ./examples/labscheduling
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"listcolor"
+)
+
+const (
+	instruments = 18
+	sessions    = 24
+	rank        = 3 // instruments per session
+)
+
+func main() {
+	h := listcolor.NewRandomHypergraph(instruments, sessions, rank, 99)
+	fmt.Printf("lab: %d instruments, %d sessions, ≤ %d instruments each\n",
+		instruments, h.M(), h.Rank())
+
+	busiest := 0
+	for v := 0; v < instruments; v++ {
+		if d := h.VertexDegree(v); d > busiest {
+			busiest = d
+		}
+	}
+	fmt.Printf("busiest instrument appears in %d sessions\n", busiest)
+
+	slots, palette, stats, err := listcolor.HyperedgeColor(h, listcolor.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled into ≤ %d slots (r·(D−1)+1 bound) in %d simulated rounds\n",
+		palette, stats.Rounds)
+
+	// Verify and print the timetable.
+	bySlot := make(map[int][]int)
+	for session, slot := range slots {
+		bySlot[slot] = append(bySlot[slot], session)
+	}
+	var order []int
+	for s := range bySlot {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	for _, slot := range order {
+		busy := make(map[int]bool)
+		for _, session := range bySlot[slot] {
+			for _, instrument := range h.Edge(session) {
+				if busy[instrument] {
+					log.Fatalf("slot %d double-books instrument %d", slot, instrument)
+				}
+				busy[instrument] = true
+			}
+		}
+		fmt.Printf("slot %2d: sessions %v\n", slot, bySlot[slot])
+	}
+	fmt.Printf("%d slots used; no instrument is double-booked in any slot\n", len(order))
+}

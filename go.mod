@@ -1,0 +1,3 @@
+module listcolor
+
+go 1.22

@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+)
+
+func TestBruteForceOLDCFindsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Ring(6)
+	d := graph.OrientByID(g)
+	inst := coloring.Uniform(6, 12, 4, 1, rng)
+	colors, ok := BruteForceOLDC(d, inst)
+	if !ok {
+		t.Fatal("solvable instance reported unsolvable")
+	}
+	if err := coloring.ValidateOLDC(d, inst, colors); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruteForceOLDCUnsolvable(t *testing.T) {
+	// Two nodes, edge 1→0, both must take color 0 with zero defect:
+	// node 1's out-conflict is unavoidable.
+	g := graph.Path(2)
+	d := graph.OrientByID(g)
+	inst := &coloring.Instance{
+		Space:   1,
+		Lists:   [][]int{{0}, {0}},
+		Defects: [][]int{{0}, {0}},
+	}
+	if _, ok := BruteForceOLDC(d, inst); ok {
+		t.Error("unsolvable instance reported solvable")
+	}
+}
+
+// TestSlackImpliesSolvable is the contrapositive check of
+// Theorem 1.1's sufficiency: every random tiny instance that satisfies
+// the slack condition (for some p) must be solvable by exhaustive
+// search. (Instances failing the condition may be solvable or not —
+// the condition is sufficient, not necessary.)
+func TestSlackImpliesSolvable(t *testing.T) {
+	f := func(seed int64, rawN, rawP uint8) bool {
+		n := int(rawN%5) + 3 // 3..7 nodes: exhaustive search is instant
+		p := int(rawP%2) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(n, 0.5, rng)
+		d := graph.OrientRandom(g, rng)
+		inst := coloring.MinSlackOriented(d, 4*p*p+8, p, 0, rng)
+		if !inst.OrientedSlackOK(d, p, 0) {
+			return true // generator failed to meet the condition; vacuous
+		}
+		_, ok := BruteForceOLDC(d, inst)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruteForcePanicsOnLarge(t *testing.T) {
+	g := graph.Ring(25)
+	d := graph.OrientByID(g)
+	inst := coloring.ThreeColor(25, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("large instance did not panic")
+		}
+	}()
+	BruteForceOLDC(d, inst)
+}

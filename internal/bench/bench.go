@@ -1,0 +1,161 @@
+// Package bench is the benchmark harness behind cmd/benchtab and the
+// numbers recorded in EXPERIMENTS.md. The paper has no experimental
+// section (it is a theory paper), so each "experiment" empirically
+// validates one theorem: it generates workloads, runs the
+// implementation on the LOCAL/CONGEST simulator, and reports the
+// measured rounds / message bits / quality next to the theorem's
+// asymptotic claim. DESIGN.md's experiment index maps the IDs E1–E15
+// to the theorems.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's asymptotic claim being validated
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "   claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "   note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "*Claim:* %s\n\n", t.Claim)
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Columns, " | "))
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n*Note:* %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Seed drives all workload generation.
+	Seed int64
+	// Quick shrinks the sweeps for fast smoke runs.
+	Quick bool
+}
+
+// Experiment is a registered experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) Table
+}
+
+// Registry returns all experiments in ID order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		{"E1", "Two-Sweep rounds are exactly 2q+1 (Lemma 3.3)", RunE1},
+		{"E2", "Two-Sweep defect guarantee at minimum slack (Lemma 3.2)", RunE2},
+		{"E3", "Fast-Two-Sweep rounds: O(min{q,(p/ε)²+log* q}) (Theorem 1.1)", RunE3},
+		{"E4", "Color space reduction: rounds O(log³C), messages O(log q+log C) (Theorem 1.2)", RunE4},
+		{"E5", "(deg+1)-list coloring pipeline vs Δ (Theorem 1.3)", RunE5},
+		{"E6", "Local computation: sort vs subset search (vs [MT20, FK23a])", RunE6},
+		{"E7", "Defective from arbdefective: ≤ ⌈logΔ⌉+1 iterations (Theorem 1.4)", RunE7},
+		{"E8", "Bounded-θ recursion and (2Δ−1)-edge coloring (Theorem 1.5)", RunE8},
+		{"E9", "List defective 3-coloring (Section 1.1 application)", RunE9},
+		{"E10", "Proper list coloring with lists of size β²+β+1 (Section 1.1)", RunE10},
+		{"E11", "Slack reduction cost: O(μ²)·T_A(μ,C) classes (Lemma 4.4)", RunE11},
+		{"E12", "Baseline comparison: rounds and palette (greedy, Luby, this paper)", RunE12},
+		{"E13", "Classical single-sweep / product constructions and Claim 4.1", RunE13},
+		{"E14", "Bounded-θ recursion vs general solver on unit-disk graphs", RunE14},
+		{"E15", "End-to-end local computation: sort vs subset-search selection", RunE15},
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		// E1 < E2 < ... < E10 < E11 < E12 numerically.
+		return expNum(exps[i].ID) < expNum(exps[j].ID)
+	})
+	return exps
+}
+
+func expNum(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// All runs every experiment.
+func All(opt Options) []Table {
+	var out []Table
+	for _, e := range Registry() {
+		out = append(out, e.Run(opt))
+	}
+	return out
+}
+
+// Run executes a single experiment by ID.
+func Run(id string, opt Options) (Table, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run(opt), nil
+		}
+	}
+	return Table{}, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// itoa / ftoa helpers keep the row-building code compact.
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%.2f", v) }
+func btoa(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

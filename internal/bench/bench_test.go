@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(reg))
+	}
+	for i, e := range reg {
+		want := i + 1
+		if expNum(e.ID) != want {
+			t.Errorf("registry[%d] = %s, want E%d", i, e.ID, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", Options{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestAllQuick smoke-runs every experiment in quick mode and asserts
+// every validity cell reads "yes" — this is the end-to-end check that
+// all theorem guarantees hold on the benchmark workloads.
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke run skipped in -short mode")
+	}
+	tables := All(Options{Seed: 1, Quick: true})
+	if len(tables) != 15 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: no rows", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			for i, cell := range row {
+				if cell == "NO" {
+					t.Errorf("%s: validity violated in row %v (col %s)", tb.ID, row, tb.Columns[i])
+				}
+			}
+		}
+		text := tb.Format()
+		if !strings.Contains(text, tb.ID) || !strings.Contains(text, "claim:") {
+			t.Errorf("%s: Format output malformed", tb.ID)
+		}
+		md := tb.Markdown()
+		if !strings.Contains(md, "| --- |") && !strings.Contains(md, "| --- | ---") {
+			t.Errorf("%s: Markdown output malformed:\n%s", tb.ID, md)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := Table{
+		ID: "EX", Title: "demo", Claim: "none",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "hello",
+	}
+	out := tb.Format()
+	for _, want := range []string{"EX", "demo", "a", "long-column", "333", "hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| 333 | 4 |") {
+		t.Errorf("Markdown missing row:\n%s", md)
+	}
+}

@@ -1,0 +1,236 @@
+// Package classic implements the classical defective-coloring
+// constructions the paper generalizes, as described in its
+// introduction:
+//
+//   - the sequential greedy d-arbdefective coloring with
+//     ⌈(Δ+1)/(d+1)⌉ colors [BE10] and its distributed single-sweep
+//     variant (one round per initial color class);
+//   - Claim 4.1's corollary: on graphs of neighborhood independence θ,
+//     the single sweep yields a (2d+1)·θ-DEFECTIVE coloring;
+//   - the Two-Sweep *product* construction [BE09, BHL+19]: two sweeps
+//     in opposite order over the initial color classes, final color =
+//     (first-sweep color, second-sweep color) ∈ [c]², giving a
+//     defective coloring with c² colors whose defect is at most
+//     2·⌊Δ/c⌋ (the paper's Algorithm 1 is the list generalization of
+//     exactly this scheme).
+//
+// These serve as baselines (benchmark E13) and as executable
+// documentation of where Algorithm 1 comes from.
+package classic
+
+import (
+	"fmt"
+
+	"listcolor/internal/graph"
+	"listcolor/internal/sim"
+)
+
+// GreedyArb computes a d-arbdefective coloring with c = ⌈(Δ+1)/(d+1)⌉
+// colors by one sequential sweep in id order: each node picks the
+// color least used among already-colored neighbors (≤ ⌊deg/c⌋ ≤ d of
+// them) and orients its monochromatic edges toward them. Returns the
+// colors and the orientation arcs.
+func GreedyArb(g *graph.Graph, d int) (colors []int, arcs [][2]int, c int) {
+	if d < 0 {
+		panic("classic: negative defect")
+	}
+	delta := g.RawMaxDegree()
+	c = (delta + 1 + d) / (d + 1) // ⌈(Δ+1)/(d+1)⌉
+	n := g.N()
+	colors = make([]int, n)
+	for v := range colors {
+		colors[v] = -1
+	}
+	counts := make([]int, c)
+	for v := 0; v < n; v++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, u := range g.Neighbors(v) {
+			if colors[u] >= 0 {
+				counts[colors[u]]++
+			}
+		}
+		best := 0
+		for x := 1; x < c; x++ {
+			if counts[x] < counts[best] {
+				best = x
+			}
+		}
+		colors[v] = best
+		for _, u := range g.Neighbors(v) {
+			if colors[u] == best && u < v {
+				arcs = append(arcs, [2]int{v, u})
+			}
+		}
+	}
+	return colors, arcs, c
+}
+
+// sweepArbNode is the distributed single-sweep node: at its initial
+// color class's turn it picks the least-used color among
+// earlier-decided neighbors and broadcasts it.
+type sweepArbNode struct {
+	q, c   int
+	init   int
+	counts []int
+	result *int
+}
+
+var _ sim.Node = (*sweepArbNode)(nil)
+
+func (s *sweepArbNode) Init(ctx *sim.Context) []sim.Outgoing { return nil }
+
+func (s *sweepArbNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]sim.Outgoing, bool) {
+	for _, m := range inbox {
+		s.counts[m.Payload.(sim.IntPayload).Value]++
+	}
+	if round != s.init+1 {
+		return nil, false
+	}
+	best := 0
+	for x := 1; x < s.c; x++ {
+		if s.counts[x] < s.counts[best] {
+			best = x
+		}
+	}
+	*s.result = best
+	return []sim.Outgoing{{To: sim.Broadcast, Payload: sim.IntPayload{Value: best, Domain: s.c}}}, true
+}
+
+// SweepArb is the distributed single-sweep d-arbdefective coloring:
+// given a proper q-coloring, it sweeps the classes in ascending order
+// (one round each); every node ends with at most d earlier-decided
+// neighbors of its color, the arcs pointing at them. O(q) rounds,
+// c = ⌈(Δ+1)/(d+1)⌉ colors.
+func SweepArb(g *graph.Graph, initColors []int, q, d int, cfg sim.Config) (colors []int, arcs [][2]int, c int, stats sim.Result, err error) {
+	if err := checkInit(g, initColors, q); err != nil {
+		return nil, nil, 0, sim.Result{}, err
+	}
+	delta := g.RawMaxDegree()
+	c = (delta + 1 + d) / (d + 1)
+	n := g.N()
+	colors = make([]int, n)
+	nodes := make([]sim.Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = &sweepArbNode{q: q, c: c, init: initColors[v], counts: make([]int, c), result: &colors[v]}
+	}
+	stats, err = sim.Run(sim.NewNetwork(g), nodes, cfg)
+	if err != nil {
+		return nil, nil, 0, stats, fmt.Errorf("classic: %w", err)
+	}
+	// Orient monochromatic edges toward the earlier class (ties are
+	// impossible: the initial coloring is proper).
+	for _, e := range g.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			if initColors[e[0]] > initColors[e[1]] {
+				arcs = append(arcs, [2]int{e[0], e[1]})
+			} else {
+				arcs = append(arcs, [2]int{e[1], e[0]})
+			}
+		}
+	}
+	return colors, arcs, c, stats, nil
+}
+
+// productNode runs both sweeps of the classical product construction:
+// ascending classes decide the first coordinate, descending classes
+// the second; the final color is first·c + second.
+type productNode struct {
+	q, c    int
+	init    int
+	counts1 []int // earlier neighbors' first coordinates
+	counts2 []int // later neighbors' second coordinates
+	first   int
+	result  *int
+}
+
+var _ sim.Node = (*productNode)(nil)
+
+// firstPayload and secondPayload distinguish sweep coordinates on the
+// wire.
+type firstPayload struct{ sim.IntPayload }
+type secondPayload struct{ sim.IntPayload }
+
+func (p *productNode) Init(ctx *sim.Context) []sim.Outgoing { return nil }
+
+func (p *productNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]sim.Outgoing, bool) {
+	for _, m := range inbox {
+		switch pay := m.Payload.(type) {
+		case firstPayload:
+			p.counts1[pay.Value]++
+		case secondPayload:
+			p.counts2[pay.Value]++
+		}
+	}
+	switch round {
+	case p.init + 1:
+		// Ascending sweep: minimize over earlier neighbors' first
+		// coordinates.
+		p.first = argminCount(p.counts1)
+		return []sim.Outgoing{{To: sim.Broadcast, Payload: firstPayload{sim.IntPayload{Value: p.first, Domain: p.c}}}}, false
+	case 2*p.q - p.init:
+		// Descending sweep: minimize over later neighbors' second
+		// coordinates.
+		second := argminCount(p.counts2)
+		*p.result = p.first*p.c + second
+		return []sim.Outgoing{{To: sim.Broadcast, Payload: secondPayload{sim.IntPayload{Value: second, Domain: p.c}}}}, true
+	default:
+		return nil, false
+	}
+}
+
+func argminCount(counts []int) int {
+	best := 0
+	for x := 1; x < len(counts); x++ {
+		if counts[x] < counts[best] {
+			best = x
+		}
+	}
+	return best
+}
+
+// ProductDefective is the classical two-sweep product construction
+// [BE09, BHL+19]: a defective coloring with c² colors in which every
+// node has at most 2·⌊Δ/c⌋ same-colored neighbors (the first sweep
+// bounds conflicts toward earlier classes, the second toward later
+// ones; a neighbor conflicts only if both coordinates collide). The
+// paper's Algorithm 1 generalizes exactly this scheme to lists.
+func ProductDefective(g *graph.Graph, initColors []int, q, c int, cfg sim.Config) (colors []int, stats sim.Result, err error) {
+	if c < 1 {
+		return nil, sim.Result{}, fmt.Errorf("classic: need ≥ 1 color per sweep")
+	}
+	if err := checkInit(g, initColors, q); err != nil {
+		return nil, sim.Result{}, err
+	}
+	n := g.N()
+	colors = make([]int, n)
+	nodes := make([]sim.Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = &productNode{
+			q: q, c: c, init: initColors[v],
+			counts1: make([]int, c), counts2: make([]int, c),
+			result: &colors[v],
+		}
+	}
+	stats, err = sim.Run(sim.NewNetwork(g), nodes, cfg)
+	if err != nil {
+		return nil, stats, fmt.Errorf("classic: %w", err)
+	}
+	return colors, stats, nil
+}
+
+func checkInit(g *graph.Graph, initColors []int, q int) error {
+	if len(initColors) != g.N() {
+		return fmt.Errorf("classic: %d init colors for %d nodes", len(initColors), g.N())
+	}
+	for v, col := range initColors {
+		if col < 0 || col >= q {
+			return fmt.Errorf("classic: node %d initial color %d outside [0,%d)", v, col, q)
+		}
+	}
+	if err := graph.IsProperColoring(g, initColors); err != nil {
+		return fmt.Errorf("classic: initial coloring not proper: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package coloring
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks the instance parser never panics and only
+// accepts structurally valid instances, which then round-trip.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"space":3,"nodes":[{"colors":[0,2],"defects":[1,0]}]}`)
+	f.Add(`{"space":0,"nodes":[]}`)
+	f.Add(`{"space":-1,"nodes":[{"colors":[0],"defects":[0]}]}`)
+	f.Add(`{}`)
+	f.Add(`[`)
+	f.Add(`{"space":2,"nodes":[{"colors":[1,0],"defects":[0,0]}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		in, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("accepted invalid instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, in); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		in2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if in2.N() != in.N() || in2.Space != in.Space {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

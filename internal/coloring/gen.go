@@ -1,0 +1,210 @@
+package coloring
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"listcolor/internal/graph"
+)
+
+// SampleColors returns k distinct colors from [0, space), sorted.
+func SampleColors(space, k int, rng *rand.Rand) []int {
+	if k > space {
+		panic(fmt.Sprintf("coloring: cannot sample %d distinct colors from space %d", k, space))
+	}
+	if space <= 4*k {
+		perm := rng.Perm(space)[:k]
+		sort.Ints(perm)
+		return perm
+	}
+	seen := make(map[int]struct{}, k)
+	for len(seen) < k {
+		seen[rng.Intn(space)] = struct{}{}
+	}
+	out := make([]int, 0, k)
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// distributeBudget fills defects (aligned with a list of length k) so
+// that Σ(d+1) = budget exactly, distributing the excess budget-k
+// uniformly at random. budget must be ≥ k.
+func distributeBudget(k, budget int, rng *rand.Rand) []int {
+	if budget < k {
+		panic(fmt.Sprintf("coloring: budget %d below list size %d", budget, k))
+	}
+	d := make([]int, k)
+	for extra := budget - k; extra > 0; extra-- {
+		d[rng.Intn(k)]++
+	}
+	return d
+}
+
+// Uniform returns an instance where every node gets listSize random
+// distinct colors from [0, space), all with the same defect.
+func Uniform(n, space, listSize, defect int, rng *rand.Rand) *Instance {
+	in := &Instance{
+		Lists:   make([][]int, n),
+		Defects: make([][]int, n),
+		Space:   space,
+	}
+	for v := 0; v < n; v++ {
+		in.Lists[v] = SampleColors(space, listSize, rng)
+		in.Defects[v] = make([]int, listSize)
+		for i := range in.Defects[v] {
+			in.Defects[v][i] = defect
+		}
+	}
+	return in
+}
+
+// DegreePlusOne returns the (deg+1)-list coloring instance of
+// Theorem 1.3: node v gets deg(v)+1 random distinct colors from
+// [0, space) and all defects are zero. space must be > Δ(G).
+func DegreePlusOne(g *graph.Graph, space int, rng *rand.Rand) *Instance {
+	if space <= g.RawMaxDegree() {
+		panic(fmt.Sprintf("coloring: space %d too small for Δ=%d", space, g.RawMaxDegree()))
+	}
+	n := g.N()
+	in := &Instance{Lists: make([][]int, n), Defects: make([][]int, n), Space: space}
+	for v := 0; v < n; v++ {
+		k := g.Degree(v) + 1
+		in.Lists[v] = SampleColors(space, k, rng)
+		in.Defects[v] = make([]int, k)
+	}
+	return in
+}
+
+// MinSlackOriented returns an adversarially tight OLDC instance for
+// Theorem 1.1 with parameter p and ε: every node gets a list of size
+// p² and a defect budget of exactly
+// max(p², ⌊(1+ε)·p·β_v⌋ + 1), the smallest value satisfying the
+// theorem's condition, distributed randomly over the colors.
+func MinSlackOriented(d *graph.Digraph, space, p int, eps float64, rng *rand.Rand) *Instance {
+	n := d.N()
+	listSize := p * p
+	if listSize > space {
+		panic(fmt.Sprintf("coloring: p²=%d exceeds color space %d", listSize, space))
+	}
+	in := &Instance{Lists: make([][]int, n), Defects: make([][]int, n), Space: space}
+	for v := 0; v < n; v++ {
+		budget := int((1+eps)*float64(p)*float64(d.Beta(v))) + 1
+		if budget < listSize {
+			budget = listSize
+		}
+		in.Lists[v] = SampleColors(space, listSize, rng)
+		in.Defects[v] = distributeBudget(listSize, budget, rng)
+	}
+	return in
+}
+
+// WithSlack returns a list defective coloring instance with slack
+// (just above) S at every node: list sizes are chosen as
+// min(space, max(1, ⌈S·deg(v)⌉+1)) capped at space, and the defect
+// budget is ⌊S·deg(v)⌋ + 1 (at least the list size).
+func WithSlack(g *graph.Graph, space int, s float64, rng *rand.Rand) *Instance {
+	n := g.N()
+	in := &Instance{Lists: make([][]int, n), Defects: make([][]int, n), Space: space}
+	for v := 0; v < n; v++ {
+		budget := int(s*float64(g.Degree(v))) + 1
+		k := budget
+		if k > space {
+			k = space
+		}
+		if k < 1 {
+			k = 1
+		}
+		if budget < k {
+			budget = k
+		}
+		in.Lists[v] = SampleColors(space, k, rng)
+		in.Defects[v] = distributeBudget(k, budget, rng)
+	}
+	return in
+}
+
+// WithOrientedSlack returns an OLDC instance whose slack mass at every
+// node is just above S·outdeg(v): the defect budget is
+// ⌈S·outdeg(v)⌉ + 1 distributed over a list of min(space, budget)
+// random colors. This is the workload shape for Theorem 1.2
+// (S = 3√C).
+func WithOrientedSlack(d *graph.Digraph, space int, s float64, rng *rand.Rand) *Instance {
+	n := d.N()
+	in := &Instance{Lists: make([][]int, n), Defects: make([][]int, n), Space: space}
+	for v := 0; v < n; v++ {
+		budget := int(math.Ceil(s*float64(d.Outdeg(v)))) + 1
+		k := budget
+		if k > space {
+			k = space
+		}
+		if k < 1 {
+			k = 1
+		}
+		if budget < k {
+			budget = k
+		}
+		in.Lists[v] = SampleColors(space, k, rng)
+		in.Defects[v] = distributeBudget(k, budget, rng)
+	}
+	return in
+}
+
+// ThreeColor returns the list d-defective 3-coloring instance from the
+// paper's discussion of [BHL+19]: every node has list {0,1,2} with
+// uniform defect d. Feasible for the Two-Sweep algorithm whenever
+// d > (2Δ-3)/3.
+func ThreeColor(n, defect int) *Instance {
+	in := &Instance{Lists: make([][]int, n), Defects: make([][]int, n), Space: 3}
+	for v := 0; v < n; v++ {
+		in.Lists[v] = []int{0, 1, 2}
+		in.Defects[v] = []int{defect, defect, defect}
+	}
+	return in
+}
+
+// Restrict returns a copy of the instance where node v's list is
+// filtered by keep(v, i, x, d): color x at index i with defect d is
+// retained iff keep returns true. Used by the recursive algorithms
+// when shrinking lists (color space reduction, defect reduction).
+func (in *Instance) Restrict(keep func(v, i, x, d int) bool) *Instance {
+	out := &Instance{
+		Lists:   make([][]int, in.N()),
+		Defects: make([][]int, in.N()),
+		Space:   in.Space,
+	}
+	for v := range in.Lists {
+		for i, x := range in.Lists[v] {
+			if keep(v, i, x, in.Defects[v][i]) {
+				out.Lists[v] = append(out.Lists[v], x)
+				out.Defects[v] = append(out.Defects[v], in.Defects[v][i])
+			}
+		}
+	}
+	return out
+}
+
+// MapDefects returns a copy of the instance with every defect d_v(x)
+// replaced by f(v, x, d_v(x)); colors whose new defect is negative are
+// dropped from the list (the paper's L'_v construction).
+func (in *Instance) MapDefects(f func(v, x, d int) int) *Instance {
+	out := &Instance{
+		Lists:   make([][]int, in.N()),
+		Defects: make([][]int, in.N()),
+		Space:   in.Space,
+	}
+	for v := range in.Lists {
+		for i, x := range in.Lists[v] {
+			nd := f(v, x, in.Defects[v][i])
+			if nd >= 0 {
+				out.Lists[v] = append(out.Lists[v], x)
+				out.Defects[v] = append(out.Defects[v], nd)
+			}
+		}
+	}
+	return out
+}

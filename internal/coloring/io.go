@@ -1,0 +1,60 @@
+package coloring
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the on-disk form of an Instance.
+type instanceJSON struct {
+	Space int         `json:"space"`
+	Nodes []nodeLists `json:"nodes"`
+}
+
+type nodeLists struct {
+	Colors  []int `json:"colors"`
+	Defects []int `json:"defects"`
+}
+
+// WriteJSON serializes the instance.
+func WriteJSON(w io.Writer, in *Instance) error {
+	doc := instanceJSON{Space: in.Space, Nodes: make([]nodeLists, in.N())}
+	for v := range in.Lists {
+		doc.Nodes[v] = nodeLists{Colors: in.Lists[v], Defects: in.Defects[v]}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("coloring: encoding instance: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses an instance written by WriteJSON and validates it
+// structurally.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var doc instanceJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("coloring: decoding instance: %w", err)
+	}
+	in := &Instance{
+		Space:   doc.Space,
+		Lists:   make([][]int, len(doc.Nodes)),
+		Defects: make([][]int, len(doc.Nodes)),
+	}
+	for v, n := range doc.Nodes {
+		in.Lists[v] = n.Colors
+		in.Defects[v] = n.Defects
+		if in.Lists[v] == nil {
+			in.Lists[v] = []int{}
+		}
+		if in.Defects[v] == nil {
+			in.Defects[v] = []int{}
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

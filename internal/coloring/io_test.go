@@ -1,0 +1,69 @@
+package coloring
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	f := func(seed int64, rawN, rawK uint8) bool {
+		n := int(rawN%15) + 1
+		space := 30
+		k := int(rawK%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+		in := Uniform(n, space, k, 2, rng)
+		var buf bytes.Buffer
+		if WriteJSON(&buf, in) != nil {
+			return false
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Space != in.Space || got.N() != in.N() {
+			return false
+		}
+		for v := range in.Lists {
+			if len(got.Lists[v]) != len(in.Lists[v]) {
+				return false
+			}
+			for i := range in.Lists[v] {
+				if got.Lists[v][i] != in.Lists[v][i] || got.Defects[v][i] != in.Defects[v][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "hello",
+		"unsorted list":   `{"space":5,"nodes":[{"colors":[2,1],"defects":[0,0]}]}`,
+		"misaligned":      `{"space":5,"nodes":[{"colors":[1,2],"defects":[0]}]}`,
+		"negative defect": `{"space":5,"nodes":[{"colors":[1],"defects":[-1]}]}`,
+		"out of space":    `{"space":2,"nodes":[{"colors":[5],"defects":[0]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadJSONEmptyLists(t *testing.T) {
+	in, err := ReadJSON(strings.NewReader(`{"space":3,"nodes":[{},{"colors":[0],"defects":[1]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 2 || in.ListSize(0) != 0 || in.ListSize(1) != 1 {
+		t.Errorf("parsed wrong shape: %+v", in)
+	}
+}

@@ -1,0 +1,135 @@
+package coloring
+
+import (
+	"fmt"
+
+	"listcolor/internal/graph"
+)
+
+// checkColorsInLists verifies colors has the right length and every
+// node picked a color from its own list, returning the looked-up
+// defects.
+func checkColorsInLists(in *Instance, colors []int) ([]int, error) {
+	if len(colors) != in.N() {
+		return nil, fmt.Errorf("%w: %d colors for %d nodes", ErrViolation, len(colors), in.N())
+	}
+	defects := make([]int, len(colors))
+	for v, x := range colors {
+		d, ok := in.DefectOf(v, x)
+		if !ok {
+			return nil, fmt.Errorf("%w: node %d chose color %d ∉ L_v", ErrViolation, v, x)
+		}
+		defects[v] = d
+	}
+	return defects, nil
+}
+
+// ValidateOLDC checks an oriented list defective coloring: every node
+// v must have at most d_v(colors[v]) out-neighbors with its color.
+func ValidateOLDC(d *graph.Digraph, in *Instance, colors []int) error {
+	allowed, err := checkColorsInLists(in, colors)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < in.N(); v++ {
+		conflicts := 0
+		for _, u := range d.Out(v) {
+			if colors[u] == colors[v] {
+				conflicts++
+			}
+		}
+		if conflicts > allowed[v] {
+			return fmt.Errorf("%w: node %d color %d has %d conflicting out-neighbors > defect %d",
+				ErrViolation, v, colors[v], conflicts, allowed[v])
+		}
+	}
+	return nil
+}
+
+// ValidateListDefective checks a (plain) list defective coloring:
+// every node v must have at most d_v(colors[v]) neighbors with its
+// color.
+func ValidateListDefective(g *graph.Graph, in *Instance, colors []int) error {
+	allowed, err := checkColorsInLists(in, colors)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < in.N(); v++ {
+		conflicts := 0
+		for _, u := range g.Neighbors(v) {
+			if colors[u] == colors[v] {
+				conflicts++
+			}
+		}
+		if conflicts > allowed[v] {
+			return fmt.Errorf("%w: node %d color %d has %d conflicting neighbors > defect %d",
+				ErrViolation, v, colors[v], conflicts, allowed[v])
+		}
+	}
+	return nil
+}
+
+// ArbResult is the output of a list arbdefective coloring: the colors
+// plus an orientation Arcs of the monochromatic edges (each arc (u,v)
+// means the monochromatic edge {u,v} is charged to u's defect).
+type ArbResult struct {
+	Colors []int
+	Arcs   [][2]int
+}
+
+// ValidateListArbdefective checks a list arbdefective coloring: every
+// monochromatic edge must appear in Arcs in exactly one direction, and
+// each node v must have at most d_v(colors[v]) outgoing arcs.
+func ValidateListArbdefective(g *graph.Graph, in *Instance, res ArbResult) error {
+	allowed, err := checkColorsInLists(in, res.Colors)
+	if err != nil {
+		return err
+	}
+	type edge = [2]int
+	canon := func(u, v int) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	oriented := make(map[edge]bool, len(res.Arcs))
+	outCount := make([]int, in.N())
+	for _, a := range res.Arcs {
+		u, v := a[0], a[1]
+		if !g.HasEdge(u, v) {
+			return fmt.Errorf("%w: arc (%d,%d) is not an edge", ErrViolation, u, v)
+		}
+		if res.Colors[u] != res.Colors[v] {
+			return fmt.Errorf("%w: arc (%d,%d) orients a non-monochromatic edge", ErrViolation, u, v)
+		}
+		e := canon(u, v)
+		if oriented[e] {
+			return fmt.Errorf("%w: edge {%d,%d} oriented twice", ErrViolation, u, v)
+		}
+		oriented[e] = true
+		outCount[u]++
+	}
+	// Every monochromatic edge must be covered.
+	for _, e := range g.Edges() {
+		if res.Colors[e[0]] == res.Colors[e[1]] && !oriented[e] {
+			return fmt.Errorf("%w: monochromatic edge {%d,%d} left unoriented", ErrViolation, e[0], e[1])
+		}
+	}
+	for v := 0; v < in.N(); v++ {
+		if outCount[v] > allowed[v] {
+			return fmt.Errorf("%w: node %d has %d outgoing monochromatic arcs > defect %d",
+				ErrViolation, v, outCount[v], allowed[v])
+		}
+	}
+	return nil
+}
+
+// ValidateProperList checks a proper list coloring (all defects
+// irrelevant): every node picked from its list and no edge is
+// monochromatic.
+func ValidateProperList(g *graph.Graph, in *Instance, colors []int) error {
+	if _, err := checkColorsInLists(in, colors); err != nil {
+		return err
+	}
+	return graph.IsProperColoring(g, colors)
+}

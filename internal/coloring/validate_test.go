@@ -1,0 +1,123 @@
+package coloring
+
+import (
+	"errors"
+	"testing"
+
+	"listcolor/internal/graph"
+)
+
+func ring4Instance(defect int) *Instance {
+	in := &Instance{Space: 3}
+	for v := 0; v < 4; v++ {
+		in.Lists = append(in.Lists, []int{0, 1, 2})
+		in.Defects = append(in.Defects, []int{defect, defect, defect})
+	}
+	return in
+}
+
+func TestValidateOLDC(t *testing.T) {
+	g := graph.Ring(4)
+	d := graph.OrientByID(g) // arcs: 1→0, 2→1, 3→2, 3→0
+	in := ring4Instance(0)
+	if err := ValidateOLDC(d, in, []int{0, 1, 0, 1}); err != nil {
+		t.Errorf("proper coloring rejected: %v", err)
+	}
+	// 3 and 0 share a color; arc 3→0 violates 3's zero defect.
+	if err := ValidateOLDC(d, in, []int{0, 1, 2, 0}); !errors.Is(err, ErrViolation) {
+		t.Errorf("err = %v, want ErrViolation", err)
+	}
+	// With defect 1 the same coloring is fine.
+	if err := ValidateOLDC(d, ring4Instance(1), []int{0, 1, 2, 0}); err != nil {
+		t.Errorf("defect-1 coloring rejected: %v", err)
+	}
+	// Defect is only charged to out-neighbors: color 0,0 on nodes 0 and
+	// 1 charges node 1 (arc 1→0), not node 0.
+	inMixed := &Instance{
+		Lists:   [][]int{{0}, {0}, {1}, {2}},
+		Defects: [][]int{{0}, {1}, {0}, {0}},
+		Space:   3,
+	}
+	if err := ValidateOLDC(d, inMixed, []int{0, 0, 1, 2}); err != nil {
+		t.Errorf("in-neighbor conflict should not count: %v", err)
+	}
+}
+
+func TestValidateOLDCColorNotInList(t *testing.T) {
+	g := graph.Ring(4)
+	d := graph.OrientByID(g)
+	in := &Instance{
+		Lists:   [][]int{{0}, {1}, {0}, {1}},
+		Defects: [][]int{{0}, {0}, {0}, {0}},
+		Space:   2,
+	}
+	if err := ValidateOLDC(d, in, []int{1, 0, 1, 0}); !errors.Is(err, ErrViolation) {
+		t.Errorf("off-list colors accepted: %v", err)
+	}
+	if err := ValidateOLDC(d, in, []int{0, 1}); !errors.Is(err, ErrViolation) {
+		t.Errorf("short color vector accepted: %v", err)
+	}
+}
+
+func TestValidateListDefective(t *testing.T) {
+	g := graph.Ring(4)
+	in := ring4Instance(1)
+	// All same color: every node has 2 conflicting neighbors > 1.
+	if err := ValidateListDefective(g, in, []int{0, 0, 0, 0}); !errors.Is(err, ErrViolation) {
+		t.Errorf("err = %v, want ErrViolation", err)
+	}
+	if err := ValidateListDefective(g, ring4Instance(2), []int{0, 0, 0, 0}); err != nil {
+		t.Errorf("defect-2 monochromatic ring rejected: %v", err)
+	}
+	if err := ValidateListDefective(g, in, []int{0, 1, 0, 1}); err != nil {
+		t.Errorf("proper coloring rejected: %v", err)
+	}
+}
+
+func TestValidateListArbdefective(t *testing.T) {
+	g := graph.Ring(4)
+	in := ring4Instance(1)
+	colors := []int{0, 0, 0, 0} // all edges monochromatic
+	// Orient the 4-cycle cyclically: every node has out-defect 1.
+	ok := ArbResult{Colors: colors, Arcs: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}
+	if err := ValidateListArbdefective(g, in, ok); err != nil {
+		t.Errorf("cyclic orientation rejected: %v", err)
+	}
+	// Node 0 taking both its edges violates defect 1... needs 2 arcs out of 0.
+	bad := ArbResult{Colors: colors, Arcs: [][2]int{{0, 1}, {0, 3}, {1, 2}, {2, 3}}}
+	if err := ValidateListArbdefective(g, in, bad); !errors.Is(err, ErrViolation) {
+		t.Errorf("overloaded node accepted: %v", err)
+	}
+	// Missing orientation for a monochromatic edge.
+	missing := ArbResult{Colors: colors, Arcs: [][2]int{{0, 1}, {1, 2}, {2, 3}}}
+	if err := ValidateListArbdefective(g, in, missing); !errors.Is(err, ErrViolation) {
+		t.Errorf("unoriented monochromatic edge accepted: %v", err)
+	}
+	// Doubly-oriented edge.
+	double := ArbResult{Colors: colors, Arcs: [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 0}}}
+	if err := ValidateListArbdefective(g, in, double); !errors.Is(err, ErrViolation) {
+		t.Errorf("doubly-oriented edge accepted: %v", err)
+	}
+	// Arc on a non-monochromatic edge.
+	colors2 := []int{0, 1, 0, 0}
+	wrongArc := ArbResult{Colors: colors2, Arcs: [][2]int{{0, 1}, {2, 3}, {3, 0}}}
+	if err := ValidateListArbdefective(g, in, wrongArc); !errors.Is(err, ErrViolation) {
+		t.Errorf("arc on bichromatic edge accepted: %v", err)
+	}
+	// Arc that is not an edge at all.
+	notEdge := ArbResult{Colors: colors, Arcs: [][2]int{{0, 2}, {0, 1}, {1, 2}, {2, 3}, {3, 0}}}
+	if err := ValidateListArbdefective(g, in, notEdge); !errors.Is(err, ErrViolation) {
+		t.Errorf("non-edge arc accepted: %v", err)
+	}
+}
+
+func TestValidateProperList(t *testing.T) {
+	g := graph.Ring(4)
+	in := ring4Instance(0)
+	if err := ValidateProperList(g, in, []int{0, 1, 0, 2}); err != nil {
+		t.Errorf("proper list coloring rejected: %v", err)
+	}
+	if err := ValidateProperList(g, in, []int{0, 0, 1, 2}); err == nil {
+		t.Error("improper coloring accepted")
+	}
+}

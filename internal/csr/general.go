@@ -1,0 +1,215 @@
+package csr
+
+import (
+	"fmt"
+	"math"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+	"listcolor/internal/sim"
+)
+
+// Solver solves OLDC instances on (sub)graphs: given an orientation, a
+// structurally valid instance, and a proper q-coloring, it returns a
+// coloring with at most d_v(x_v) same-colored out-neighbors per node.
+// A Solver declares its slack requirement out of band (the κ of
+// Lemma 3.5).
+type Solver func(d *graph.Digraph, inst *coloring.Instance, initColors []int, q int) ([]int, sim.Result, error)
+
+// ReduceSpace implements Lemma 3.5 (Theorem 3 of [FK23a], specialized
+// to this library's solvers): given a Solver a that handles OLDC
+// instances over color spaces of size ≤ lambda whenever
+// Σ(d_v(x)+1) ≥ β_v·kappa, it returns a Solver that handles ARBITRARY
+// color spaces C whenever Σ(d_v(x)+1) ≥ β_v·kappa^⌈log_λ C⌉.
+//
+// The space is padded to λ^k (k = ⌈log_λ C⌉) and recursively split
+// into λ blocks per level. Each level, every group of nodes sharing a
+// current block solves a λ-color OLDC instance — choosing its
+// sub-block, with block defects δ_{v,i} = ⌊W_{v,i}/κ^{j−1}⌋ where
+// W_{v,i} is the slack mass of block i — using a. The OLDC guarantee
+// (at most δ out-neighbors choose the same block) sustains the
+// invariant W ≥ β·κ^j on vertex-disjoint subgraphs, which run in
+// parallel. At the bottom, blocks have ≤ λ colors and a assigns the
+// final colors directly.
+//
+// Round cost: ⌈log_λ C⌉ sequential levels, each the parallel maximum
+// of the group runs — O(T_a·log_λ C), as Lemma 3.5 states.
+func ReduceSpace(lambda int, kappa float64, a Solver) Solver {
+	if lambda < 2 {
+		panic(fmt.Sprintf("csr: split parameter λ=%d must be ≥ 2", lambda))
+	}
+	if kappa <= 1 {
+		panic(fmt.Sprintf("csr: κ=%v must exceed 1", kappa))
+	}
+	return func(d *graph.Digraph, inst *coloring.Instance, initColors []int, q int) ([]int, sim.Result, error) {
+		return reduceSpace(lambda, kappa, a, d, inst, initColors, q)
+	}
+}
+
+// group is one vertex-disjoint recursion cell: the nodes (original
+// ids) currently assigned to the color block [blockLo, blockLo+size).
+type group struct {
+	nodes   []int
+	blockLo int
+}
+
+func reduceSpace(lambda int, kappa float64, a Solver, d *graph.Digraph, inst *coloring.Instance, initColors []int, q int) ([]int, sim.Result, error) {
+	return reduceSpaceSpanned(lambda, kappa, a, d, inst, initColors, q, nil)
+}
+
+func reduceSpaceSpanned(lambda int, kappa float64, a Solver, d *graph.Digraph, inst *coloring.Instance, initColors []int, q int, cfgSpan *sim.Span) ([]int, sim.Result, error) {
+	n := d.N()
+	// k = ⌈log_λ C⌉ levels; the space is treated as padded to λ^k.
+	k := 0
+	for pow := 1; pow < inst.Space; pow *= lambda {
+		k++
+	}
+	out := make([]int, n)
+	var total sim.Result
+	groups := []group{{nodes: allNodes(n), blockLo: 0}}
+	for level := k; level >= 1; level-- {
+		blockSize := powInt(lambda, level)
+		subSize := blockSize / lambda
+		levelSpan := cfgSpan.Child(fmt.Sprintf("level %d: %d group(s), blocks of %d", level, len(groups), blockSize))
+		var levelStats sim.Result
+		var next []group
+		for _, grp := range groups {
+			grpSpan := levelSpan.Child(fmt.Sprintf("block@%d (%d nodes)", grp.blockLo, len(grp.nodes)))
+			var stats sim.Result
+			var err error
+			if level == 1 {
+				stats, err = solveBase(a, d, inst, initColors, q, grp, lambda, out)
+			} else {
+				var children []group
+				children, stats, err = solveChoice(a, d, inst, initColors, q, grp, lambda, subSize, kappa, float64(level-1))
+				next = append(next, children...)
+			}
+			if err != nil {
+				return nil, sim.Result{}, err
+			}
+			grpSpan.Done(stats)
+			levelStats = sim.Par(levelStats, stats)
+		}
+		levelSpan.Done(levelStats)
+		total = sim.Seq(total, levelStats)
+		groups = next
+	}
+	if k == 0 {
+		// C ≤ 1: every node takes its single color (callers validate
+		// non-empty lists).
+		for v := 0; v < n; v++ {
+			if inst.ListSize(v) == 0 {
+				return nil, sim.Result{}, fmt.Errorf("csr: node %d has an empty list", v)
+			}
+			out[v] = inst.Lists[v][0]
+		}
+	}
+	return out, total, nil
+}
+
+// solveChoice runs one level's block-choice OLDC on a group and
+// returns the child groups.
+func solveChoice(a Solver, d *graph.Digraph, inst *coloring.Instance, initColors []int, q int, grp group, lambda, subSize int, kappa, levelsBelow float64) ([]group, sim.Result, error) {
+	dInd, orig := graph.InduceDigraph(d, grp.nodes)
+	weightDiv := math.Pow(kappa, levelsBelow) // κ^{j-1}
+	choice := &coloring.Instance{
+		Lists:   make([][]int, len(orig)),
+		Defects: make([][]int, len(orig)),
+		Space:   lambda,
+	}
+	for i, v := range orig {
+		for blk := 0; blk < lambda; blk++ {
+			w := blockWeight(inst, v, grp.blockLo+blk*subSize, subSize)
+			if w == 0 {
+				continue // empty block: not a valid choice
+			}
+			choice.Lists[i] = append(choice.Lists[i], blk)
+			choice.Defects[i] = append(choice.Defects[i], int(math.Floor(float64(w)/weightDiv)))
+		}
+	}
+	initInd := induceInts(initColors, orig)
+	colors, stats, err := a(dInd, choice, initInd, q)
+	if err != nil {
+		return nil, sim.Result{}, fmt.Errorf("csr: block choice (block %d, size %d·%d): %w", grp.blockLo, lambda, subSize, err)
+	}
+	if err := coloring.ValidateOLDC(dInd, choice, colors); err != nil {
+		return nil, sim.Result{}, fmt.Errorf("csr: block choice produced invalid OLDC: %w", err)
+	}
+	children := make(map[int][]int, lambda)
+	for i, blk := range colors {
+		children[blk] = append(children[blk], orig[i])
+	}
+	out := make([]group, 0, len(children))
+	for blk := 0; blk < lambda; blk++ {
+		if nodes, ok := children[blk]; ok {
+			out = append(out, group{nodes: nodes, blockLo: grp.blockLo + blk*subSize})
+		}
+	}
+	return out, stats, nil
+}
+
+// solveBase assigns actual colors within a block of ≤ lambda colors,
+// remapping to [0, lambda) so the inner solver sees a λ-sized space.
+func solveBase(a Solver, d *graph.Digraph, inst *coloring.Instance, initColors []int, q int, grp group, lambda int, out []int) (sim.Result, error) {
+	dInd, orig := graph.InduceDigraph(d, grp.nodes)
+	sub := &coloring.Instance{
+		Lists:   make([][]int, len(orig)),
+		Defects: make([][]int, len(orig)),
+		Space:   lambda,
+	}
+	for i, v := range orig {
+		for li, x := range inst.Lists[v] {
+			if x >= grp.blockLo && x < grp.blockLo+lambda {
+				sub.Lists[i] = append(sub.Lists[i], x-grp.blockLo)
+				sub.Defects[i] = append(sub.Defects[i], inst.Defects[v][li])
+			}
+		}
+	}
+	initInd := induceInts(initColors, orig)
+	colors, stats, err := a(dInd, sub, initInd, q)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("csr: base level (block %d): %w", grp.blockLo, err)
+	}
+	if err := coloring.ValidateOLDC(dInd, sub, colors); err != nil {
+		return sim.Result{}, fmt.Errorf("csr: base level produced invalid OLDC: %w", err)
+	}
+	for i, v := range orig {
+		out[v] = colors[i] + grp.blockLo
+	}
+	return stats, nil
+}
+
+// blockWeight returns W_{v,block} = Σ_{x ∈ L_v ∩ [lo, lo+size)} (d_v(x)+1).
+func blockWeight(inst *coloring.Instance, v, lo, size int) int {
+	w := 0
+	for i, x := range inst.Lists[v] {
+		if x >= lo && x < lo+size {
+			w += inst.Defects[v][i] + 1
+		}
+	}
+	return w
+}
+
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for v := range out {
+		out[v] = v
+	}
+	return out
+}
+
+func induceInts(vals []int, orig []int) []int {
+	out := make([]int, len(orig))
+	for i, v := range orig {
+		out[i] = vals[v]
+	}
+	return out
+}
+
+func powInt(base, exp int) int {
+	r := 1
+	for i := 0; i < exp; i++ {
+		r *= base
+	}
+	return r
+}

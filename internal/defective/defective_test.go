@@ -1,0 +1,138 @@
+package defective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"listcolor/internal/graph"
+	"listcolor/internal/linial"
+	"listcolor/internal/logstar"
+	"listcolor/internal/sim"
+)
+
+// properIDs colors g properly via Linial from ids (test helper).
+func properIDs(t *testing.T, g *graph.Graph) ([]int, int) {
+	t.Helper()
+	res, err := linial.ColorFromIDs(g, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Colors, res.Palette
+}
+
+func TestColorOrientedDefectBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, alpha := range []float64{1.0, 0.5, 0.25} {
+		for _, g := range []*graph.Graph{
+			graph.RandomRegular(100, 8, rng),
+			graph.GNP(80, 0.12, rng),
+			graph.Grid(10, 10),
+		} {
+			colors, m := properIDs(t, g)
+			d := graph.OrientByID(g)
+			res, err := ColorOriented(d, colors, m, alpha, sim.Config{})
+			if err != nil {
+				t.Fatalf("α=%v %v: %v", alpha, g, err)
+			}
+			mono := graph.MonochromaticOutDegree(d, res.Colors)
+			for v := 0; v < g.N(); v++ {
+				allowed := int(math.Floor(alpha * float64(d.Beta(v))))
+				if mono[v] > allowed {
+					t.Errorf("α=%v %v: node %d defect %d > ⌊α·β_v⌋=%d", alpha, g, v, mono[v], allowed)
+				}
+			}
+			if limit := int(64.0/(alpha*alpha)) + 64; res.Palette > limit {
+				t.Errorf("α=%v: palette %d > O(1/α²)=%d", alpha, res.Palette, limit)
+			}
+		}
+	}
+}
+
+func TestColorUndirectedDefectBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomRegular(120, 10, rng)
+	colors, m := properIDs(t, g)
+	alpha := 0.5
+	res, err := ColorUndirected(g, colors, m, alpha, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := graph.MonochromaticDegree(g, res.Colors)
+	for v := 0; v < g.N(); v++ {
+		allowed := int(math.Floor(alpha * float64(g.Degree(v))))
+		if mono[v] > allowed {
+			t.Errorf("node %d defect %d > ⌊α·deg⌋=%d", v, mono[v], allowed)
+		}
+	}
+}
+
+func TestRoundsLogStar(t *testing.T) {
+	g := graph.Ring(512)
+	colors, m := properIDs(t, g)
+	res, err := ColorUndirected(g, colors, m, 0.5, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds > logstar.LogStar(m)+6 {
+		t.Errorf("defective coloring took %d rounds, want O(log* q)", res.Stats.Rounds)
+	}
+}
+
+func TestPaletteMatchesRun(t *testing.T) {
+	g := graph.Grid(6, 6)
+	colors, m := properIDs(t, g)
+	alpha := 0.5
+	want := Palette(m, g.MaxDegree(), alpha)
+	res, err := ColorUndirected(g, colors, m, alpha, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Palette != want {
+		t.Errorf("Palette() = %d but run produced palette %d", want, res.Palette)
+	}
+	if mc := graph.MaxColor(res.Colors); mc >= want {
+		t.Errorf("color %d outside predicted palette %d", mc, want)
+	}
+}
+
+func TestDefectiveQuick(t *testing.T) {
+	// Property: for random graphs, orientations and α, the defect bound
+	// always holds.
+	f := func(seed int64, rawN uint8, rawA uint8) bool {
+		n := int(rawN%40) + 10
+		alpha := []float64{1.0, 0.5, 0.25}[rawA%3]
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(n, 0.2, rng)
+		res0, err := linial.ColorFromIDs(g, sim.Config{})
+		if err != nil {
+			return false
+		}
+		d := graph.OrientRandom(g, rng)
+		res, err := ColorOriented(d, res0.Colors, res0.Palette, alpha, sim.Config{})
+		if err != nil {
+			return false
+		}
+		mono := graph.MonochromaticOutDegree(d, res.Colors)
+		for v := 0; v < n; v++ {
+			if mono[v] > int(math.Floor(alpha*float64(d.Beta(v)))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefectiveCongestCompliant(t *testing.T) {
+	g := graph.Ring(300)
+	colors, m := properIDs(t, g)
+	// Colors fit in O(log m) bits throughout.
+	_, err := ColorUndirected(g, colors, m, 0.5, sim.Config{BandwidthBits: sim.BitsFor(m * m)})
+	if err != nil {
+		t.Errorf("not CONGEST compliant: %v", err)
+	}
+}

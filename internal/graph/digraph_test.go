@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrientByID(t *testing.T) {
+	g := Ring(5)
+	d := OrientByID(g)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Every arc points to the smaller endpoint.
+	for u := 0; u < 5; u++ {
+		for _, v := range d.Out(u) {
+			if v > u {
+				t.Errorf("arc (%d,%d) points to larger id", u, v)
+			}
+		}
+	}
+	// Vertex 0 is a sink: its paper-convention β is still 1.
+	if d.Outdeg(0) != 0 {
+		t.Errorf("Outdeg(0) = %d, want 0", d.Outdeg(0))
+	}
+	if d.Beta(0) != 1 {
+		t.Errorf("Beta(0) = %d, want 1 (paper convention)", d.Beta(0))
+	}
+}
+
+func TestOrientByRankRejectsTies(t *testing.T) {
+	g := Path(3)
+	if _, err := OrientByRank(g, []int{1, 1, 2}); err == nil {
+		t.Error("OrientByRank accepted tied ranks on an edge")
+	}
+	if _, err := OrientByRank(g, []int{1, 2}); err == nil {
+		t.Error("OrientByRank accepted wrong rank length")
+	}
+}
+
+func TestOrientationPartitionsEdges(t *testing.T) {
+	f := func(seed int64, rawN, rawD uint8) bool {
+		n := int(rawN%30) + 6
+		dEdge := int(rawD%4) + 1
+		if (n*dEdge)%2 != 0 {
+			n++
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomRegular(n, dEdge, rng)
+		for _, d := range []*Digraph{OrientByID(g), OrientRandom(g, rng), OrientByDegeneracy(g)} {
+			if d.Validate() != nil {
+				return false
+			}
+			// outdeg + indeg == degree at every vertex.
+			for v := 0; v < n; v++ {
+				if len(d.Out(v))+len(d.In(v)) != g.Degree(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientByDegeneracyAchievesDegeneracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range []*Graph{Ring(20), Grid(5, 6), GNP(40, 0.2, rng), Complete(8)} {
+		k, _ := Degeneracy(g)
+		d := OrientByDegeneracy(g)
+		if got := d.MaxBeta(); got > k && !(g.M() == 0 && got == 1) {
+			t.Errorf("%v: degeneracy orientation has β=%d > degeneracy %d", g, got, k)
+		}
+	}
+}
+
+func TestOrientArbitraryFrom(t *testing.T) {
+	g := Path(3) // edges {0,1},{1,2}
+	d, err := OrientArbitraryFrom(g, [][2]int{{1, 0}, {1, 2}})
+	if err != nil {
+		t.Fatalf("OrientArbitraryFrom: %v", err)
+	}
+	if d.Outdeg(1) != 2 || d.Outdeg(0) != 0 || d.Outdeg(2) != 0 {
+		t.Error("arc set not respected")
+	}
+	if !d.HasArc(1, 0) || d.HasArc(0, 1) {
+		t.Error("HasArc inconsistent with arc set")
+	}
+
+	if _, err := OrientArbitraryFrom(g, [][2]int{{0, 1}}); err == nil {
+		t.Error("accepted incomplete arc set")
+	}
+	if _, err := OrientArbitraryFrom(g, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("accepted doubly-oriented edge")
+	}
+	if _, err := OrientArbitraryFrom(g, [][2]int{{0, 1}, {0, 2}}); err == nil {
+		t.Error("accepted arc that is not an edge")
+	}
+}
+
+func TestMaxBeta(t *testing.T) {
+	g := New(4) // no edges: β is 1 by convention
+	d := OrientByID(g)
+	if d.MaxBeta() != 1 {
+		t.Errorf("MaxBeta(empty) = %d, want 1", d.MaxBeta())
+	}
+	star := New(5)
+	for v := 1; v < 5; v++ {
+		star.MustAddEdge(0, v)
+	}
+	// Orient all leaves toward the center: rank center lowest.
+	dd, err := OrientByRank(star, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.MaxBeta() != 1 {
+		t.Errorf("star toward center: MaxBeta = %d, want 1", dd.MaxBeta())
+	}
+	// Orient all edges away from the center.
+	dd2, err := OrientByRank(star, []int{10, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd2.MaxBeta() != 4 {
+		t.Errorf("star from center: MaxBeta = %d, want 4", dd2.MaxBeta())
+	}
+}
+
+func TestUnderlying(t *testing.T) {
+	g := Ring(4)
+	if OrientByID(g).Underlying() != g {
+		t.Error("Underlying does not return the original graph")
+	}
+}

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the parser never panics and that every
+// accepted graph is structurally valid and round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("3 3\n0 1\n1 2\n0 2\n")
+	f.Add("1 0\n")
+	f.Add("# comment\n2 1\n0 1\n")
+	f.Add("")
+	f.Add("4 2\n0 1\n")
+	f.Add("-1 -1\n")
+	f.Add("2 1\n1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: (%d,%d) vs (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GeometricGraph is a unit-disk graph: points in the unit square,
+// adjacent iff their distance is at most the radius. Unit-disk graphs
+// have neighborhood independence θ ≤ 5 (at most five pairwise-distant
+// points fit in a disk around a center they are all adjacent to), so
+// they are a natural realistic workload for the Section 4 algorithms —
+// wireless networks are their classical motivation.
+type GeometricGraph struct {
+	*Graph
+	X, Y   []float64
+	Radius float64
+}
+
+// RandomGeometric returns a unit-disk graph on n uniformly random
+// points in [0,1]² with the given connection radius.
+func RandomGeometric(n int, radius float64, rng *rand.Rand) *GeometricGraph {
+	if radius < 0 {
+		panic(fmt.Sprintf("graph: negative radius %v", radius))
+	}
+	gg := &GeometricGraph{
+		Graph:  New(n),
+		X:      make([]float64, n),
+		Y:      make([]float64, n),
+		Radius: radius,
+	}
+	for v := 0; v < n; v++ {
+		gg.X[v] = rng.Float64()
+		gg.Y[v] = rng.Float64()
+	}
+	// Grid-bucket the points so edge construction is O(n + m) for
+	// reasonable radii instead of O(n²).
+	cell := radius
+	if cell <= 0 || cell > 1 {
+		cell = 1
+	}
+	cols := int(1/cell) + 1
+	buckets := make(map[[2]int][]int)
+	key := func(v int) [2]int {
+		return [2]int{int(gg.X[v] / cell), int(gg.Y[v] / cell)}
+	}
+	for v := 0; v < n; v++ {
+		k := key(v)
+		buckets[k] = append(buckets[k], v)
+	}
+	r2 := radius * radius
+	for v := 0; v < n; v++ {
+		k := key(v)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				nk := [2]int{k[0] + dx, k[1] + dy}
+				if nk[0] < 0 || nk[1] < 0 || nk[0] > cols || nk[1] > cols {
+					continue
+				}
+				for _, u := range buckets[nk] {
+					if u <= v {
+						continue
+					}
+					ddx, ddy := gg.X[v]-gg.X[u], gg.Y[v]-gg.Y[u]
+					if ddx*ddx+ddy*ddy <= r2 {
+						gg.MustAddEdge(v, u)
+					}
+				}
+			}
+		}
+	}
+	gg.Normalize()
+	return gg
+}
+
+// Distance returns the Euclidean distance between vertices u and v.
+func (gg *GeometricGraph) Distance(u, v int) float64 {
+	dx, dy := gg.X[u]-gg.X[v], gg.Y[u]-gg.Y[v]
+	return math.Sqrt(dx*dx + dy*dy)
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomGeometricAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gg := RandomGeometric(150, 0.15, rng)
+	if err := gg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Adjacency must be exactly the distance predicate.
+	for u := 0; u < gg.N(); u++ {
+		for v := u + 1; v < gg.N(); v++ {
+			want := gg.Distance(u, v) <= gg.Radius
+			if gg.HasEdge(u, v) != want {
+				t.Fatalf("edge (%d,%d): HasEdge=%v dist=%v radius=%v",
+					u, v, gg.HasEdge(u, v), gg.Distance(u, v), gg.Radius)
+			}
+		}
+	}
+}
+
+func TestUnitDiskThetaAtMostFive(t *testing.T) {
+	// The structural fact the Section 4 workloads rely on: unit-disk
+	// graphs have neighborhood independence at most 5.
+	f := func(seed int64, rawR uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		radius := 0.1 + float64(rawR%20)/100
+		gg := RandomGeometric(60, radius, rng)
+		if gg.RawMaxDegree() > 22 {
+			return true // θ computation too slow; skip dense draws
+		}
+		return NeighborhoodIndependence(gg.Graph) <= 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGeometricExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Radius 0: no edges.
+	if g := RandomGeometric(30, 0, rng); g.M() != 0 {
+		t.Errorf("radius 0 produced %d edges", g.M())
+	}
+	// Radius √2: complete graph.
+	if g := RandomGeometric(20, 1.5, rng); g.M() != 20*19/2 {
+		t.Errorf("radius 1.5 produced %d edges, want complete", g.M())
+	}
+	// Negative radius panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("negative radius did not panic")
+		}
+	}()
+	RandomGeometric(5, -0.1, rng)
+}
+
+func TestRandomGeometricDeterministic(t *testing.T) {
+	a := RandomGeometric(80, 0.12, rand.New(rand.NewSource(9)))
+	b := RandomGeometric(80, 0.12, rand.New(rand.NewSource(9)))
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}

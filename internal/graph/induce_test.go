@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInduceDigraphBasics(t *testing.T) {
+	g := Complete(5)
+	d := OrientByID(g)
+	sub, orig := InduceDigraph(d, []int{1, 3, 4})
+	if sub.N() != 3 {
+		t.Fatalf("sub N = %d", sub.N())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Arc directions preserved: in the original, higher id → lower id.
+	for i := 0; i < 3; i++ {
+		for _, j := range sub.Out(i) {
+			if orig[i] < orig[j] {
+				t.Errorf("arc (%d,%d) flipped: orig %d → %d", i, j, orig[i], orig[j])
+			}
+		}
+	}
+}
+
+func TestInduceDigraphQuick(t *testing.T) {
+	// Property: the induced digraph has exactly the arcs between kept
+	// vertices, in the original direction.
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%20) + 5
+		rng := rand.New(rand.NewSource(seed))
+		g := GNP(n, 0.4, rng)
+		d := OrientRandom(g, rng)
+		keep := make([]int, 0, n/2)
+		for v := 0; v < n; v += 2 {
+			keep = append(keep, v)
+		}
+		sub, orig := InduceDigraph(d, keep)
+		if sub.Validate() != nil {
+			return false
+		}
+		// Every sub arc exists in the original.
+		for i := 0; i < sub.N(); i++ {
+			for _, j := range sub.Out(i) {
+				if !d.HasArc(orig[i], orig[j]) {
+					return false
+				}
+			}
+		}
+		// Every original arc between kept vertices appears.
+		index := make(map[int]int)
+		for i, v := range orig {
+			index[v] = i
+		}
+		for _, v := range keep {
+			for _, w := range d.Out(v) {
+				if j, ok := index[w]; ok {
+					if !sub.HasArc(index[v], j) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInduceDigraphEmpty(t *testing.T) {
+	g := Ring(4)
+	d := OrientByID(g)
+	sub, orig := InduceDigraph(d, nil)
+	if sub.N() != 0 || len(orig) != 0 {
+		t.Error("empty induce not empty")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := Ring(5)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("existing edge not removed")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("double removal reported success")
+	}
+	if g.M() != 4 || g.HasEdge(0, 1) {
+		t.Errorf("after removal: m=%d", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

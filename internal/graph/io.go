@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MaxEdgeListVertices bounds the vertex count ReadEdgeList accepts, so
+// a corrupt header cannot force a multi-gigabyte allocation.
+const MaxEdgeListVertices = 1 << 24
+
+// WriteEdgeList serializes g in the common whitespace edge-list
+// format: a header line "n m" followed by one "u v" line per edge
+// (u < v, sorted). Lines starting with '#' are comments on input.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return fmt.Errorf("graph: writing header: %w", err)
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return fmt.Errorf("graph: writing edge: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Blank lines
+// and '#' comments are skipped; the declared edge count is validated.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	declared := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var a, b int
+		if _, err := fmt.Sscanf(line, "%d %d", &a, &b); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if g == nil {
+			if a < 0 || b < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative header", lineNo)
+			}
+			if a > MaxEdgeListVertices {
+				return nil, fmt.Errorf("graph: line %d: header declares %d vertices (limit %d)", lineNo, a, MaxEdgeListVertices)
+			}
+			if a > 0 && b > a*(a-1)/2 {
+				return nil, fmt.Errorf("graph: line %d: header declares %d edges for %d vertices", lineNo, b, a)
+			}
+			g = New(a)
+			declared = b
+			continue
+		}
+		if err := g.AddEdge(a, b); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if g.M() != declared {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", declared, g.M())
+	}
+	g.Normalize()
+	return g, nil
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := GNP(n, 0.3, rng)
+		var buf bytes.Buffer
+		if WriteEdgeList(&buf, g) != nil {
+			return false
+		}
+		got, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			return false
+		}
+		ea, eb := g.Edges(), got.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := `# a triangle
+3 3
+
+0 1
+# middle comment
+1 2
+0 2
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Errorf("got n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "x y\n",
+		"negative header": "-1 0\n",
+		"edge mismatch":   "3 2\n0 1\n",
+		"self loop":       "3 1\n1 1\n",
+		"out of range":    "3 1\n0 5\n",
+		"bad edge":        "3 1\nzero one\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadEdgeListHeaderLimits(t *testing.T) {
+	// Absurd vertex counts must be rejected before allocation (found
+	// by FuzzReadEdgeList).
+	if _, err := ReadEdgeList(strings.NewReader("455555555 1\n0 1\n")); err == nil {
+		t.Error("accepted header beyond MaxEdgeListVertices")
+	}
+	// More edges than a simple graph can have.
+	if _, err := ReadEdgeList(strings.NewReader("3 100\n0 1\n")); err == nil {
+		t.Error("accepted infeasible edge count")
+	}
+}
+
+func TestWriteEdgeListFormat(t *testing.T) {
+	g := Path(3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	want := "3 2\n0 1\n1 2\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}

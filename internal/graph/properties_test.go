@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegeneracyKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"ring", Ring(10), 2},
+		{"path", Path(10), 1},
+		{"K5", Complete(5), 4},
+		{"tree", CompleteKaryTree(3, 4), 1},
+		{"grid", Grid(4, 5), 2},
+		{"empty", New(7), 0},
+	}
+	for _, c := range cases {
+		k, order := Degeneracy(c.g)
+		if k != c.want {
+			t.Errorf("%s: degeneracy = %d, want %d", c.name, k, c.want)
+		}
+		if len(order) != c.g.N() {
+			t.Errorf("%s: order length %d != n %d", c.name, len(order), c.g.N())
+		}
+		// Witness check: when each vertex is removed, at most k
+		// neighbors remain.
+		pos := make([]int, c.g.N())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for v := 0; v < c.g.N(); v++ {
+			later := 0
+			for _, u := range c.g.Neighbors(v) {
+				if pos[u] > pos[v] {
+					later++
+				}
+			}
+			if later > k {
+				t.Errorf("%s: vertex %d has %d later neighbors > degeneracy %d", c.name, v, later, k)
+			}
+		}
+	}
+}
+
+func TestDegeneracyOrderIsPermutation(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := GNP(n, 0.3, rng)
+		_, order := Degeneracy(g)
+		seen := make([]bool, n)
+		for _, v := range order {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(order) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndependenceNumberKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"K4", Complete(4), 1},
+		{"empty5", New(5), 5},
+		{"C5", Ring(5), 2},
+		{"C6", Ring(6), 3},
+		{"P4", Path(4), 2},
+		{"K33", CompleteBipartite(3, 3), 3},
+		{"petersen-ish grid", Grid(3, 3), 5},
+	}
+	for _, c := range cases {
+		if got := IndependenceNumber(c.g); got != c.want {
+			t.Errorf("%s: α = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNeighborhoodIndependenceKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"K5", Complete(5), 1}, // neighborhoods are cliques
+		{"C6", Ring(6), 2},     // two non-adjacent neighbors
+		{"star", CompleteBipartite(1, 5), 5},
+		{"K33", CompleteBipartite(3, 3), 3},
+		{"empty", New(4), 0},
+	}
+	for _, c := range cases {
+		if got := NeighborhoodIndependence(c.g); got != c.want {
+			t.Errorf("%s: θ = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLineGraphThetaAtMostTwo(t *testing.T) {
+	// θ(L(G)) ≤ 2 for every graph G — the structural fact Section 4's
+	// edge-coloring application rests on.
+	rng := rand.New(rand.NewSource(42))
+	for _, g := range []*Graph{Ring(8), Grid(3, 4), GNP(15, 0.3, rng), Complete(6)} {
+		lg, _ := LineGraph(g)
+		if lg.M() == 0 {
+			continue
+		}
+		if theta := NeighborhoodIndependence(lg); theta > 2 {
+			t.Errorf("line graph of %v has θ = %d > 2", g, theta)
+		}
+	}
+}
+
+func TestGreedyThetaUpperBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, g := range []*Graph{Ring(10), Grid(4, 4), GNP(18, 0.25, rng), CompleteBipartite(3, 4)} {
+		exact := NeighborhoodIndependence(g)
+		bound := GreedyThetaUpperBound(g)
+		if bound < exact {
+			t.Errorf("%v: greedy bound %d below exact θ %d", g, bound, exact)
+		}
+	}
+}
+
+func TestIsProperColoring(t *testing.T) {
+	g := Ring(4)
+	if err := IsProperColoring(g, []int{0, 1, 0, 1}); err != nil {
+		t.Errorf("valid 2-coloring rejected: %v", err)
+	}
+	if err := IsProperColoring(g, []int{0, 0, 1, 1}); err == nil {
+		t.Error("improper coloring accepted")
+	}
+	if err := IsProperColoring(g, []int{0, 1}); err == nil {
+		t.Error("wrong-length coloring accepted")
+	}
+}
+
+func TestMonochromaticDegrees(t *testing.T) {
+	g := Ring(4)
+	colors := []int{0, 0, 0, 1}
+	mono := MonochromaticDegree(g, colors)
+	want := []int{1, 2, 1, 0}
+	for v := range want {
+		if mono[v] != want[v] {
+			t.Errorf("MonochromaticDegree[%d] = %d, want %d", v, mono[v], want[v])
+		}
+	}
+	d := OrientByID(g)
+	monoOut := MonochromaticOutDegree(d, colors)
+	// Arcs: 1→0, 2→1, 3→0 (ring edges {0,1},{1,2},{2,3},{3,0}; toward smaller id: 1→0, 2→1, 3→2, 3→0).
+	wantOut := []int{0, 1, 1, 0}
+	for v := range wantOut {
+		if monoOut[v] != wantOut[v] {
+			t.Errorf("MonochromaticOutDegree[%d] = %d, want %d", v, monoOut[v], wantOut[v])
+		}
+	}
+}
+
+func TestColorStats(t *testing.T) {
+	colors := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	if got := CountColors(colors); got != 7 {
+		t.Errorf("CountColors = %d, want 7", got)
+	}
+	if got := MaxColor(colors); got != 9 {
+		t.Errorf("MaxColor = %d, want 9", got)
+	}
+	if got := MaxColor(nil); got != -1 {
+		t.Errorf("MaxColor(nil) = %d, want -1", got)
+	}
+}
+
+func TestMonochromaticConsistencyQuick(t *testing.T) {
+	// Sum over vertices of monochromatic degree = 2 × number of
+	// monochromatic edges; and out+in monochromatic counts sum to the
+	// undirected one under any orientation.
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%25) + 3
+		rng := rand.New(rand.NewSource(seed))
+		g := GNP(n, 0.4, rng)
+		colors := make([]int, n)
+		for v := range colors {
+			colors[v] = rng.Intn(3)
+		}
+		mono := MonochromaticDegree(g, colors)
+		total := 0
+		for _, m := range mono {
+			total += m
+		}
+		if total%2 != 0 {
+			return false
+		}
+		d := OrientRandom(g, rng)
+		monoOut := MonochromaticOutDegree(d, colors)
+		outTotal := 0
+		for _, m := range monoOut {
+			outTotal += m
+		}
+		return outTotal*2 == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package linial implements Linial's O(log* n)-round color reduction
+// [Lin87] as a message-passing protocol, in both its proper and its
+// defect-tolerant form (the latter is Lemma 3.4 of the paper, due to
+// [Kuh09, KS18]).
+//
+// One reduction step identifies each current color m with a degree-d
+// polynomial over F_q (coefficients = base-q digits of m, package gf).
+// Every node picks an evaluation point a and adopts the point-value
+// pair (a, f(a)) ∈ F_q × F_q as its new color. Distinct degree-≤d
+// polynomials agree on at most d points, so
+//
+//   - proper reduction: with q > d·β there is a point where a node's
+//     polynomial disagrees with all β conflict-relevant neighbors,
+//     keeping the coloring proper while shrinking the palette from m
+//     to q²;
+//   - defective reduction: with q ≥ d/α the best point creates at most
+//     ⌊d·β_v/q⌋ ≤ α·β_v new monochromatic out-edges, allowing far
+//     smaller palettes (O(1/α²) at the fixed point).
+//
+// Iterating with a precomputed schedule of (d, q) pairs collapses any
+// initial m-coloring in O(log* m) steps. All nodes derive the same
+// schedule from the public parameters (m, β, α), so no coordination
+// rounds are needed.
+package linial
+
+import (
+	"fmt"
+
+	"listcolor/internal/gf"
+)
+
+// Step is one color-reduction step: current colors are interpreted as
+// degree-Degree polynomials over F_Q; the step maps a ColorsIn-coloring
+// to a Q²-coloring. AllowFrac is the fraction α_i of β_v that this
+// step may newly make monochromatic (0 for a proper step).
+type Step struct {
+	Q         int
+	Degree    int
+	ColorsIn  int
+	AllowFrac float64
+}
+
+// ColorsOut returns the palette size after the step.
+func (s Step) ColorsOut() int { return s.Q * s.Q }
+
+// feasibleStep returns the cheapest (smallest Q²) single step that
+// reduces an m-coloring given conflict bound beta, with per-step
+// defect fraction alpha (0 = proper). ok is false when no step makes
+// progress (q² < m).
+func feasibleStep(m, beta int, alpha float64) (Step, bool) {
+	best := Step{}
+	found := false
+	for d := 1; ; d++ {
+		var qMin int
+		if alpha == 0 {
+			qMin = d*beta + 1 // q > d·β
+		} else {
+			qMin = int(float64(d) / alpha) // q ≥ d/α
+			if float64(qMin)*alpha < float64(d) {
+				qMin++
+			}
+		}
+		if qMin < 2 {
+			qMin = 2
+		}
+		q := gf.NextPrime(qMin)
+		// Representability: q^(d+1) ≥ m.
+		rep := 1
+		feasible := false
+		for i := 0; i <= d; i++ {
+			rep *= q
+			if rep >= m {
+				feasible = true
+				break
+			}
+		}
+		if feasible {
+			// qMin grows with d while representability only improves, so
+			// the first feasible d yields the smallest q — stop here.
+			best = Step{Q: q, Degree: d, ColorsIn: m, AllowFrac: alpha}
+			found = true
+			break
+		}
+		if d > 64 {
+			break // unreachable for sane inputs; avoid infinite loop
+		}
+	}
+	if !found || best.ColorsOut() >= m {
+		return Step{}, false
+	}
+	return best, true
+}
+
+// ProperSchedule returns the sequence of proper reduction steps that
+// collapses an m-coloring on a graph with conflict degree beta to the
+// fixed-point palette (Θ(β²) colors), in O(log* m) steps.
+func ProperSchedule(m, beta int) []Step {
+	var steps []Step
+	for {
+		s, ok := feasibleStep(m, beta, 0)
+		if !ok {
+			return steps
+		}
+		steps = append(steps, s)
+		m = s.ColorsOut()
+	}
+}
+
+// DefectiveSchedule returns reduction steps that collapse an
+// m-coloring to a Θ(1/α²) palette while creating at most α·β_v
+// monochromatic out-edges per node in total. Per-step budgets increase
+// geometrically (α/2^{k}, …, α/4, α/2) so the final, palette-defining
+// step gets half the budget; the number of steps k is found by a
+// fixpoint search.
+func DefectiveSchedule(m, beta int, alpha float64) []Step {
+	if alpha <= 0 {
+		panic("linial: DefectiveSchedule needs alpha > 0")
+	}
+	for k := 1; ; k++ {
+		steps, ok := tryDefectiveSchedule(m, beta, alpha, k)
+		if ok {
+			return steps
+		}
+		if k > 40 {
+			panic(fmt.Sprintf("linial: no defective schedule for m=%d beta=%d alpha=%v", m, beta, alpha))
+		}
+	}
+}
+
+// tryDefectiveSchedule builds a schedule with the k increasing budgets
+// α/2^k, …, α/4, α/2 (total < α). A budget that cannot make progress
+// is skipped (its allowance is simply never spent). The schedule is
+// accepted iff, after the horizon, not even the final budget α/2 could
+// shrink the palette further.
+func tryDefectiveSchedule(m, beta int, alpha float64, k int) ([]Step, bool) {
+	var steps []Step
+	cur := m
+	for i := 1; i <= k; i++ {
+		ai := alpha / float64(int(1)<<uint(k-i+1))
+		if s, ok := feasibleStep(cur, beta, ai); ok {
+			steps = append(steps, s)
+			cur = s.ColorsOut()
+		}
+	}
+	if _, ok := feasibleStep(cur, beta, alpha/2); ok {
+		return nil, false
+	}
+	return steps, true
+}

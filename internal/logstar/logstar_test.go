@@ -1,0 +1,129 @@
+package logstar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ x, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {7, 3}, {8, 3}, {9, 4},
+		{1023, 10}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.x); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestFloorLog2(t *testing.T) {
+	cases := []struct{ x, want int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {1025, 10},
+	}
+	for _, c := range cases {
+		if got := FloorLog2(c.x); got != c.want {
+			t.Errorf("FloorLog2(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLogConsistencyQuick(t *testing.T) {
+	// For all x ≥ 1: 2^FloorLog2(x) ≤ x ≤ 2^CeilLog2(x), and the two
+	// differ by at most one (equal exactly at powers of two).
+	f := func(raw uint16) bool {
+		x := int(raw) + 1
+		fl, cl := FloorLog2(x), CeilLog2(x)
+		if 1<<uint(fl) > x || x > 1<<uint(cl) {
+			return false
+		}
+		if x&(x-1) == 0 { // power of two
+			return fl == cl
+		}
+		return cl == fl+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	cases := []struct{ x, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {16, 3}, {17, 4},
+		{65536, 4}, {65537, 5},
+	}
+	for _, c := range cases {
+		if got := LogStar(c.x); got != c.want {
+			t.Errorf("LogStar(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestTower(t *testing.T) {
+	want := []int{1, 2, 4, 16, 65536}
+	for k, w := range want {
+		if got := Tower(k); got != w {
+			t.Errorf("Tower(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestTowerLogStarInverse(t *testing.T) {
+	// LogStar(Tower(k)) == k for k in the representable range.
+	for k := 0; k <= 4; k++ {
+		if got := LogStar(Tower(k)); got != k {
+			t.Errorf("LogStar(Tower(%d)) = %d, want %d", k, got, k)
+		}
+	}
+}
+
+func TestTowerPanics(t *testing.T) {
+	for _, k := range []int{-1, 6, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Tower(%d) did not panic", k)
+				}
+			}()
+			Tower(k)
+		}()
+	}
+}
+
+func TestCeilLog2PanicsOnNonPositive(t *testing.T) {
+	for _, x := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CeilLog2(%d) did not panic", x)
+				}
+			}()
+			CeilLog2(x)
+		}()
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := []struct{ b, e, want int }{
+		{2, 0, 1}, {2, 10, 1024}, {3, 4, 81}, {1, 100, 1}, {10, 6, 1000000},
+		{0, 0, 1}, {0, 3, 0}, {7, 1, 7},
+	}
+	for _, c := range cases {
+		if got := Pow(c.b, c.e); got != c.want {
+			t.Errorf("Pow(%d,%d) = %d, want %d", c.b, c.e, got, c.want)
+		}
+	}
+}
+
+func TestPowMatchesMathPow(t *testing.T) {
+	f := func(b, e uint8) bool {
+		base := int(b%9) + 1
+		exp := int(e % 8)
+		return Pow(base, exp) == int(math.Round(math.Pow(float64(base), float64(exp))))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

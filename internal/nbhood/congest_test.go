@@ -1,0 +1,29 @@
+package nbhood
+
+import (
+	"testing"
+
+	"listcolor/internal/graph"
+	"listcolor/internal/sim"
+)
+
+// TestEdgeColorCongestCompliant runs the full Theorem 1.5 pipeline
+// under a hard per-message cap of the CONGEST shape. Theorem 1.5 is a
+// CONGEST result: the only information exchanged are colors and small
+// lists, so an O(log n)-scale cap must never trip.
+func TestEdgeColorCongestCompliant(t *testing.T) {
+	g := graph.Grid(3, 4)
+	lg, _ := graph.LineGraph(g)
+	n := lg.N()
+	cap := 8 * sim.BitsFor(n*n)
+	colors, palette, stats, err := EdgeColor(g, sim.Config{BandwidthBits: cap})
+	if err != nil {
+		t.Fatalf("pipeline exceeded the %d-bit CONGEST cap: %v", cap, err)
+	}
+	if len(colors) != g.M() || palette != 2*g.MaxDegree()-1 {
+		t.Errorf("malformed result: %d colors, palette %d", len(colors), palette)
+	}
+	if stats.MaxMessageBits > cap {
+		t.Errorf("reported max message %d > cap %d", stats.MaxMessageBits, cap)
+	}
+}

@@ -1,0 +1,102 @@
+package nbhood
+
+import (
+	"math/rand"
+	"testing"
+
+	"listcolor/internal/graph"
+	"listcolor/internal/hypergraph"
+	"listcolor/internal/sim"
+)
+
+func TestHyperedgeColorProper(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		name string
+		h    *hypergraph.Hypergraph
+	}{
+		{"rank3-random", hypergraph.RandomRegularRank(12, 10, 3, rng)},
+		{"rank4-random", hypergraph.RandomRegularRank(14, 8, 4, rng)},
+	} {
+		colors, palette, stats, err := HyperedgeColor(tc.h, sim.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(colors) != tc.h.M() {
+			t.Fatalf("%s: %d colors for %d hyperedges", tc.name, len(colors), tc.h.M())
+		}
+		// Intersecting hyperedges must differ.
+		for i := 0; i < tc.h.M(); i++ {
+			if colors[i] < 0 || colors[i] >= palette {
+				t.Errorf("%s: color %d outside palette %d", tc.name, colors[i], palette)
+			}
+			for j := i + 1; j < tc.h.M(); j++ {
+				if colors[i] == colors[j] && intersect(tc.h.Edge(i), tc.h.Edge(j)) {
+					t.Errorf("%s: intersecting hyperedges %d,%d share color %d", tc.name, i, j, colors[i])
+				}
+			}
+		}
+		if stats.Rounds <= 0 {
+			t.Errorf("%s: no rounds recorded", tc.name)
+		}
+	}
+}
+
+func TestHyperedgeColorMatchesEdgeColorOnGraphs(t *testing.T) {
+	// For rank-2 hypergraphs built from a graph, the palette bound
+	// r·(D−1)+1 = 2(Δ−1)+1 = 2Δ−1 coincides with EdgeColor's.
+	g := graph.Ring(10)
+	h := hypergraph.FromGraph(g)
+	_, palette, _, err := HyperedgeColor(h, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*g.MaxDegree() - 1; palette != want {
+		t.Errorf("palette = %d, want 2Δ−1 = %d", palette, want)
+	}
+}
+
+func TestHyperedgeColorRejectsEmpty(t *testing.T) {
+	h := hypergraph.New(5)
+	if _, _, _, err := HyperedgeColor(h, sim.Config{}); err == nil {
+		t.Error("empty hypergraph accepted")
+	}
+}
+
+func TestHyperedgeColorParallelEdges(t *testing.T) {
+	// Parallel hyperedges blow past the r(D−1)+1 bound; the palette
+	// must widen to the line-graph degree.
+	h := hypergraph.New(4)
+	for i := 0; i < 5; i++ {
+		h.MustAddEdge(0, 1, 2)
+	}
+	colors, palette, _, err := HyperedgeColor(h, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range colors {
+		if seen[c] {
+			t.Fatal("parallel hyperedges share a color")
+		}
+		seen[c] = true
+	}
+	if palette < 5 {
+		t.Errorf("palette %d too small for 5 parallel hyperedges", palette)
+	}
+}
+
+func intersect(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

@@ -1,0 +1,255 @@
+package nbhood
+
+import (
+	"fmt"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/defective"
+	"listcolor/internal/graph"
+	"listcolor/internal/linial"
+	"listcolor/internal/logstar"
+	"listcolor/internal/sim"
+)
+
+// edgelessArb colors an edgeless (sub)graph in one round: with no
+// neighbors, any list color satisfies any defect, so every node takes
+// its first. Returns ok=false when some list is empty.
+func edgelessArb(inst *coloring.Instance) (coloring.ArbResult, sim.Result, error) {
+	colors := make([]int, inst.N())
+	for v := 0; v < inst.N(); v++ {
+		if inst.ListSize(v) == 0 {
+			return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("%w: node %d has an empty list", ErrSlack, v)
+		}
+		colors[v] = inst.Lists[v][0]
+	}
+	return coloring.ArbResult{Colors: colors}, sim.Result{Rounds: 1}, nil
+}
+
+// prunedInstance returns, for the given nodes (original ids), the
+// residual instance after subtracting already-committed neighbor
+// colors: d'_v(x) = d_v(x) − a_v(x), colors with negative residual
+// defect dropped (the paper's L'_v / d'_v construction used by
+// Lemmas 4.4 and A.1).
+func prunedInstance(g *graph.Graph, inst *coloring.Instance, colors []int, nodes []int) *coloring.Instance {
+	out := &coloring.Instance{
+		Lists:   make([][]int, len(nodes)),
+		Defects: make([][]int, len(nodes)),
+		Space:   inst.Space,
+	}
+	for i, v := range nodes {
+		a := make(map[int]int)
+		for _, u := range g.Neighbors(v) {
+			if colors[u] >= 0 {
+				a[colors[u]]++
+			}
+		}
+		for li, x := range inst.Lists[v] {
+			if nd := inst.Defects[v][li] - a[x]; nd >= 0 {
+				out.Lists[i] = append(out.Lists[i], x)
+				out.Defects[i] = append(out.Defects[i], nd)
+			}
+		}
+	}
+	return out
+}
+
+// announceStats is the cost of the one round in which a batch of
+// newly colored nodes broadcasts its colors to all neighbors: one
+// O(log C)-bit message per incident edge end.
+func announceStats(g *graph.Graph, orig []int, space int) sim.Result {
+	bits := sim.BitsFor(space)
+	msgs := 0
+	for _, v := range orig {
+		msgs += g.Degree(v)
+	}
+	return sim.Result{Rounds: 1, Messages: msgs, TotalBits: msgs * bits, MaxMessageBits: bits}
+}
+
+// rebootstrap re-reduces a proper q-coloring restricted to a subgraph
+// down to O(Δ_sub²) classes with Linial's algorithm (O(log* q)
+// rounds). The class subgraphs of the slack reductions have much
+// smaller degrees than the parent graph, so the sweeps inside the
+// sub-solvers then iterate over far fewer classes.
+func rebootstrap(sub *graph.Graph, base []int, q int, cfg sim.Config) ([]int, int, sim.Result, error) {
+	res, err := linial.ReduceProperUndirected(sub, base, q, cfg)
+	if err != nil {
+		return nil, 0, sim.Result{}, err
+	}
+	return res.Colors, res.Palette, res.Stats, nil
+}
+
+// commitBatch writes a sub-result back into the global coloring and
+// arc list: sub arcs are remapped, and each newly colored node gets an
+// outgoing arc to every earlier-colored neighbor sharing its color
+// (those conflicts were pre-paid by the defect reduction in
+// prunedInstance).
+func commitBatch(g *graph.Graph, colors []int, orig []int, res coloring.ArbResult, arcs *[][2]int) {
+	batch := make(map[int]bool, len(orig))
+	for _, v := range orig {
+		batch[v] = true
+	}
+	for i, v := range orig {
+		colors[v] = res.Colors[i]
+	}
+	for _, a := range res.Arcs {
+		*arcs = append(*arcs, [2]int{orig[a[0]], orig[a[1]]})
+	}
+	for _, v := range orig {
+		for _, u := range g.Neighbors(v) {
+			if !batch[u] && colors[u] >= 0 && colors[u] == colors[v] {
+				*arcs = append(*arcs, [2]int{v, u})
+			}
+		}
+	}
+}
+
+// SlackReduce2 implements Lemma 4.4: it solves a slack-2 list
+// arbdefective instance using arb, a solver for slack-μ instances, by
+// sequencing over the O(μ²) classes of a defective coloring with
+// ε = 1/μ. base must be a proper q-coloring of g.
+func SlackReduce2(g *graph.Graph, inst *coloring.Instance, base []int, q, mu int, arb ArbSolver, cfg sim.Config) (coloring.ArbResult, sim.Result, error) {
+	if g.M() == 0 {
+		return edgelessArb(inst)
+	}
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if inst.SlackSum(v) <= 2*g.Degree(v) {
+			return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("%w: node %d has Σ(d+1)=%d ≤ 2·deg=%d (Lemma 4.4)",
+				ErrSlack, v, inst.SlackSum(v), 2*g.Degree(v))
+		}
+	}
+	rootSpan := cfg.Span
+	cfg.Span = nil
+	psi, err := defective.ColorUndirected(g, base, q, 1/float64(mu), cfg)
+	if err != nil {
+		return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("nbhood: Lemma 4.4 split: %w", err)
+	}
+	rootSpan.Child(fmt.Sprintf("Lemma 4.4 split ε=1/%d → %d classes", mu, psi.Palette)).Done(psi.Stats)
+	stats := psi.Stats
+	colors := make([]int, n)
+	for v := range colors {
+		colors[v] = -1
+	}
+	var arcs [][2]int
+	for class := 0; class < psi.Palette; class++ {
+		var members []int
+		for v := 0; v < n; v++ {
+			if psi.Colors[v] == class {
+				members = append(members, v)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		sub, orig := g.InducedSubgraph(members)
+		subInst := prunedInstance(g, inst, colors, orig)
+		subBase, subQ, rebStats, err := rebootstrap(sub, induceInts(base, orig), q, cfg)
+		if err != nil {
+			return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("nbhood: Lemma 4.4 class %d re-bootstrap: %w", class, err)
+		}
+		res, subStats, err := arb(sub, subInst, subBase, subQ)
+		if err != nil {
+			return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("nbhood: Lemma 4.4 class %d: %w", class, err)
+		}
+		subStats = sim.Seq(rebStats, subStats)
+		if err := coloring.ValidateListArbdefective(sub, subInst, res); err != nil {
+			return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("nbhood: Lemma 4.4 class %d sub-result: %w", class, err)
+		}
+		rootSpan.Child(fmt.Sprintf("class %d: %d nodes (slack-μ solver)", class, len(members))).Done(subStats)
+		stats = sim.Seq(stats, sim.Seq(subStats, announceStats(g, orig, inst.Space)))
+		commitBatch(g, colors, orig, res, &arcs)
+	}
+	rootSpan.Done(stats)
+	return coloring.ArbResult{Colors: colors, Arcs: arcs}, stats, nil
+}
+
+// SlackReduce1 implements Lemma A.1: it solves a slack-1 list
+// arbdefective instance using arb, a solver for slack-μ instances. It
+// runs O(log Δ) degree-halving scales; within a scale, a node is
+// processed at its defective-class turn only if at most half of its
+// scale-start neighbors have been colored, which both preserves the
+// slack the sub-solver needs and halves the uncolored degrees between
+// scales.
+func SlackReduce1(g *graph.Graph, inst *coloring.Instance, base []int, q, mu int, arb ArbSolver, cfg sim.Config) (coloring.ArbResult, sim.Result, error) {
+	if g.M() == 0 {
+		return edgelessArb(inst)
+	}
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if inst.SlackSum(v) <= g.Degree(v) {
+			return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("%w: node %d has Σ(d+1)=%d ≤ deg=%d (Lemma A.1)",
+				ErrSlack, v, inst.SlackSum(v), g.Degree(v))
+		}
+	}
+	colors := make([]int, n)
+	for v := range colors {
+		colors[v] = -1
+	}
+	var arcs [][2]int
+	var stats sim.Result
+	uncolored := make([]int, n)
+	for v := range uncolored {
+		uncolored[v] = v
+	}
+	maxScales := logstar.CeilLog2(g.MaxDegree()) + 3
+	for scale := 0; len(uncolored) > 0; scale++ {
+		if scale > maxScales {
+			return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("nbhood: Lemma A.1 did not converge in %d scales", maxScales)
+		}
+		h, origH := g.InducedSubgraph(uncolored)
+		indexH := make(map[int]int, len(origH))
+		for i, v := range origH {
+			indexH[v] = i
+		}
+		psi, err := defective.ColorUndirected(h, induceInts(base, origH), q, 1/float64(2*mu), cfg)
+		if err != nil {
+			return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("nbhood: Lemma A.1 split: %w", err)
+		}
+		stats = sim.Seq(stats, psi.Stats)
+		coloredInScale := make([]int, len(origH))
+		done := make([]bool, len(origH))
+		for class := 0; class < psi.Palette; class++ {
+			var active []int
+			for i, v := range origH {
+				if !done[i] && psi.Colors[i] == class && 2*coloredInScale[i] <= h.Degree(i) {
+					active = append(active, v)
+				}
+			}
+			if len(active) == 0 {
+				continue
+			}
+			sub, orig := g.InducedSubgraph(active)
+			subInst := prunedInstance(g, inst, colors, orig)
+			subBase, subQ, rebStats, err := rebootstrap(sub, induceInts(base, orig), q, cfg)
+			if err != nil {
+				return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("nbhood: Lemma A.1 scale %d class %d re-bootstrap: %w", scale, class, err)
+			}
+			res, subStats, err := arb(sub, subInst, subBase, subQ)
+			if err != nil {
+				return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("nbhood: Lemma A.1 scale %d class %d: %w", scale, class, err)
+			}
+			subStats = sim.Seq(rebStats, subStats)
+			if err := coloring.ValidateListArbdefective(sub, subInst, res); err != nil {
+				return coloring.ArbResult{}, sim.Result{}, fmt.Errorf("nbhood: Lemma A.1 scale %d class %d sub-result: %w", scale, class, err)
+			}
+			stats = sim.Seq(stats, sim.Seq(subStats, announceStats(g, orig, inst.Space)))
+			commitBatch(g, colors, orig, res, &arcs)
+			for _, v := range active {
+				done[indexH[v]] = true
+				for _, u := range g.Neighbors(v) {
+					if j, ok := indexH[u]; ok {
+						coloredInScale[j]++
+					}
+				}
+			}
+		}
+		var remaining []int
+		for i, v := range origH {
+			if !done[i] {
+				remaining = append(remaining, v)
+			}
+		}
+		uncolored = remaining
+	}
+	return coloring.ArbResult{Colors: colors, Arcs: arcs}, stats, nil
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"listcolor/internal/graph"
+)
+
+func TestDropMessageBlocksFlood(t *testing.T) {
+	// Cutting every message out of node n-1 prevents its id from
+	// flooding the ring.
+	n := 9
+	g := graph.Ring(n)
+	nodes, results := newFloodMaxNodes(n, n)
+	_, err := Run(NewNetwork(g), nodes, Config{
+		DropMessage: func(round, from, to int) bool { return from == n-1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n-1; v++ {
+		if results[v] == n-1 {
+			t.Errorf("node %d learned the max despite the cut", v)
+		}
+	}
+	// Without drops it does flood.
+	nodes2, results2 := newFloodMaxNodes(n, n)
+	if _, err := Run(NewNetwork(g), nodes2, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if results2[v] != n-1 {
+			t.Errorf("clean run: node %d missed the max", v)
+		}
+	}
+}
+
+func TestDropMessageRoundScoped(t *testing.T) {
+	// Dropping only init-round sends (round 0) delays the flood by one
+	// round but does not stop it.
+	n := 6
+	g := graph.Ring(n)
+	nodes, results := newFloodMaxNodes(n, n)
+	if _, err := Run(NewNetwork(g), nodes, Config{
+		DropMessage: func(round, from, to int) bool { return round == 0 },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The value still spreads n-1 hops within n rounds minus the lost
+	// first round — with hops = n it still covers the ring.
+	for v := 0; v < n; v++ {
+		if results[v] != n-1 {
+			t.Errorf("node %d missed the max after a 1-round outage", v)
+		}
+	}
+}
+
+func TestDropMessageAccounting(t *testing.T) {
+	// Dropped messages are not billed.
+	n := 4
+	g := graph.Complete(n)
+	nodesAll, _ := newFloodMaxNodes(n, 1)
+	resAll, err := Run(NewNetwork(g), nodesAll, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesHalf, _ := newFloodMaxNodes(n, 1)
+	resHalf, err := Run(NewNetwork(g), nodesHalf, Config{
+		DropMessage: func(round, from, to int) bool { return (from+to)%2 == 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resHalf.Messages >= resAll.Messages {
+		t.Errorf("drops not reflected in accounting: %d vs %d", resHalf.Messages, resAll.Messages)
+	}
+}

@@ -1,0 +1,457 @@
+// Package sim implements the synchronous message-passing substrate the
+// coloring algorithms run on: the LOCAL and CONGEST models of
+// distributed computing [Pel00].
+//
+// A network is an n-node graph; computation proceeds in synchronous
+// rounds. In each round every node may send a (possibly different)
+// message to each neighbor, receives the messages its neighbors sent,
+// and performs arbitrary local computation. The LOCAL model places no
+// bound on message size; CONGEST caps every message at O(log n) bits.
+// The engine counts rounds, messages and exact payload bits, and can
+// enforce a per-message bandwidth cap so that tests can prove an
+// algorithm is CONGEST-compliant rather than assert it.
+//
+// Protocols are per-node state machines (the Node interface). Three
+// drivers execute them: a deterministic sequential lockstep driver, a
+// goroutine driver that runs every node as its own goroutine
+// synchronized by round barriers, and a worker-pool driver. All must
+// produce identical results; the test suite checks this property on
+// random protocols.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"listcolor/internal/graph"
+)
+
+// Broadcast, used as Outgoing.To, sends the payload to every neighbor.
+const Broadcast = -1
+
+// Payload is the content of a message. Implementations report their
+// exact encoded size in bits so the engine can do CONGEST accounting.
+type Payload interface {
+	SizeBits() int
+}
+
+// Message is a delivered message: who sent it and what it carries.
+type Message struct {
+	From    int
+	Payload Payload
+}
+
+// Outgoing is a message a node wants delivered next round. To must be
+// a neighbor of the sender, or Broadcast.
+type Outgoing struct {
+	To      int
+	Payload Payload
+}
+
+// Node is a per-node protocol state machine.
+//
+// Init is called once before the first round and returns the messages
+// to deliver in round 1. Round is called once per round r = 1, 2, ...
+// with the messages delivered that round; it returns messages for
+// round r+1 and whether the node has terminated (output fixed, no
+// further sends). Messages returned together with done=true are still
+// delivered.
+type Node interface {
+	Init(ctx *Context) []Outgoing
+	Round(ctx *Context, round int, inbox []Message) (outbox []Outgoing, done bool)
+}
+
+// Context gives a node its local view of the topology. Slices are
+// owned by the engine and must not be modified.
+type Context struct {
+	ID        int
+	Neighbors []int
+	Out       []int // out-neighbors under the input orientation; nil if unoriented
+	In        []int // in-neighbors under the input orientation; nil if unoriented
+}
+
+// Driver selects the execution strategy.
+type Driver int
+
+const (
+	// Lockstep runs nodes sequentially in id order each round. It is
+	// the deterministic reference driver.
+	Lockstep Driver = iota + 1
+	// Goroutines runs every node as its own goroutine with a barrier
+	// per round. Results are identical to Lockstep.
+	Goroutines
+	// Workers runs each round's node computations on a fixed pool of
+	// worker goroutines (GOMAXPROCS-sized), then routes sequentially in
+	// id order. Results are identical to Lockstep; this driver is the
+	// fastest for large networks with cheap per-node work.
+	Workers
+)
+
+// Config controls an engine run. The zero value means: Lockstep
+// driver, unlimited bandwidth (LOCAL model), and a default round limit.
+type Config struct {
+	Driver Driver
+	// BandwidthBits, when positive, is the maximum size of a single
+	// message; exceeding it fails the run (CONGEST enforcement).
+	BandwidthBits int
+	// MaxRounds bounds the run as a safety net against non-terminating
+	// protocols. 0 means DefaultMaxRounds.
+	MaxRounds int
+	// OnRound, if non-nil, is invoked after every round with that
+	// round's statistics (lockstep and goroutine drivers both call it
+	// from the coordinating goroutine).
+	OnRound func(RoundStats)
+	// DropMessage, if non-nil, is a fault-injection hook: a message
+	// sent by from to to in the given round is silently discarded when
+	// it returns true. The paper's model assumes reliable links, so
+	// algorithms are NOT expected to survive drops — this exists so
+	// tests can prove the validators catch the resulting damage.
+	DropMessage func(round, from, to int) bool
+	// Span, if non-nil, collects the composition structure of composed
+	// algorithms: orchestrators attach a child span per sub-step. The
+	// engine itself ignores it.
+	Span *Span
+}
+
+// DefaultMaxRounds is the round limit used when Config.MaxRounds is 0.
+const DefaultMaxRounds = 1 << 22
+
+// RoundStats describes one completed round.
+type RoundStats struct {
+	Round       int
+	ActiveNodes int
+	Messages    int
+	Bits        int
+}
+
+// Result aggregates a completed run.
+type Result struct {
+	Rounds         int // number of rounds until every node terminated
+	Messages       int // total messages delivered
+	TotalBits      int // total payload bits delivered
+	MaxMessageBits int // largest single message
+}
+
+// Seq returns the statistics of running a and then b sequentially:
+// rounds, messages and bits add; the max message size is the larger of
+// the two. The recursive algorithms use it to charge sub-protocol
+// costs exactly as the paper's reductions do.
+func Seq(a, b Result) Result {
+	max := a.MaxMessageBits
+	if b.MaxMessageBits > max {
+		max = b.MaxMessageBits
+	}
+	return Result{
+		Rounds:         a.Rounds + b.Rounds,
+		Messages:       a.Messages + b.Messages,
+		TotalBits:      a.TotalBits + b.TotalBits,
+		MaxMessageBits: max,
+	}
+}
+
+// Par returns the statistics of running a and b in parallel on
+// vertex-disjoint parts of the network: rounds take the max, messages
+// and bits add.
+func Par(a, b Result) Result {
+	rounds := a.Rounds
+	if b.Rounds > rounds {
+		rounds = b.Rounds
+	}
+	max := a.MaxMessageBits
+	if b.MaxMessageBits > max {
+		max = b.MaxMessageBits
+	}
+	return Result{
+		Rounds:         rounds,
+		Messages:       a.Messages + b.Messages,
+		TotalBits:      a.TotalBits + b.TotalBits,
+		MaxMessageBits: max,
+	}
+}
+
+// ErrBandwidth is returned (wrapped) when a message exceeds the
+// configured CONGEST cap.
+var ErrBandwidth = errors.New("sim: message exceeds bandwidth cap")
+
+// ErrNotNeighbor is returned (wrapped) when a node addresses a
+// non-neighbor.
+var ErrNotNeighbor = errors.New("sim: message to non-neighbor")
+
+// ErrRoundLimit is returned (wrapped) when the protocol fails to
+// terminate within MaxRounds.
+var ErrRoundLimit = errors.New("sim: round limit exceeded")
+
+// Network is the communication topology: an undirected graph plus an
+// optional edge orientation exposed to the nodes (communication is
+// always bidirectional, as in the paper's model).
+type Network struct {
+	g  *graph.Graph
+	di *graph.Digraph
+}
+
+// NewNetwork returns a network over an undirected graph.
+func NewNetwork(g *graph.Graph) *Network {
+	g.Normalize()
+	return &Network{g: g}
+}
+
+// NewOrientedNetwork returns a network over an oriented graph: nodes
+// see Out/In neighbor sets, but messages travel both ways.
+func NewOrientedNetwork(d *graph.Digraph) *Network {
+	d.Underlying().Normalize()
+	return &Network{g: d.Underlying(), di: d}
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.g.N() }
+
+// Graph returns the underlying undirected graph.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Digraph returns the orientation, or nil for an unoriented network.
+func (nw *Network) Digraph() *graph.Digraph { return nw.di }
+
+func (nw *Network) context(v int) *Context {
+	ctx := &Context{ID: v, Neighbors: nw.g.Neighbors(v)}
+	if nw.di != nil {
+		ctx.Out = nw.di.Out(v)
+		ctx.In = nw.di.In(v)
+	}
+	return ctx
+}
+
+// Run executes the protocol given by nodes (one per vertex) on the
+// network and returns the aggregated result. len(nodes) must equal the
+// number of vertices.
+func Run(nw *Network, nodes []Node, cfg Config) (Result, error) {
+	if len(nodes) != nw.N() {
+		return Result{}, fmt.Errorf("sim: %d nodes for %d vertices", len(nodes), nw.N())
+	}
+	if cfg.Driver == 0 {
+		cfg.Driver = Lockstep
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	switch cfg.Driver {
+	case Lockstep:
+		return runLockstep(nw, nodes, cfg)
+	case Goroutines:
+		return runGoroutines(nw, nodes, cfg)
+	case Workers:
+		return runWorkers(nw, nodes, cfg)
+	default:
+		return Result{}, fmt.Errorf("sim: unknown driver %d", cfg.Driver)
+	}
+}
+
+// router collects each round's outgoing messages and produces the next
+// round's inboxes, accounting bits and enforcing caps.
+type router struct {
+	nw      *Network
+	cfg     Config
+	inboxes [][]Message
+	res     Result
+	round   int // the round currently being routed (0 = init sends)
+}
+
+func newRouter(nw *Network, cfg Config) *router {
+	return &router{nw: nw, cfg: cfg, inboxes: make([][]Message, nw.N())}
+}
+
+// route ingests the outbox of node v. It returns an error on protocol
+// violations (non-neighbor target, bandwidth overflow).
+func (r *router) route(v int, outs []Outgoing) error {
+	for _, o := range outs {
+		bits := 0
+		if o.Payload != nil {
+			bits = o.Payload.SizeBits()
+		}
+		if r.cfg.BandwidthBits > 0 && bits > r.cfg.BandwidthBits {
+			return fmt.Errorf("%w: node %d sent %d bits (cap %d)", ErrBandwidth, v, bits, r.cfg.BandwidthBits)
+		}
+		targets := []int{o.To}
+		if o.To == Broadcast {
+			targets = r.nw.g.Neighbors(v)
+		} else if !r.nw.g.HasEdge(v, o.To) {
+			return fmt.Errorf("%w: node %d -> %d", ErrNotNeighbor, v, o.To)
+		}
+		for _, t := range targets {
+			if r.cfg.DropMessage != nil && r.cfg.DropMessage(r.round, v, t) {
+				continue
+			}
+			r.inboxes[t] = append(r.inboxes[t], Message{From: v, Payload: o.Payload})
+			r.res.Messages++
+			r.res.TotalBits += bits
+			if bits > r.res.MaxMessageBits {
+				r.res.MaxMessageBits = bits
+			}
+		}
+	}
+	return nil
+}
+
+// flush returns the accumulated inboxes (sorted by sender for
+// determinism) and resets the router for the next round.
+func (r *router) flush() [][]Message {
+	in := r.inboxes
+	for v := range in {
+		sort.SliceStable(in[v], func(i, j int) bool { return in[v][i].From < in[v][j].From })
+	}
+	r.inboxes = make([][]Message, len(in))
+	return in
+}
+
+func runLockstep(nw *Network, nodes []Node, cfg Config) (Result, error) {
+	n := nw.N()
+	ctxs := make([]*Context, n)
+	for v := 0; v < n; v++ {
+		ctxs[v] = nw.context(v)
+	}
+	rt := newRouter(nw, cfg)
+	for v := 0; v < n; v++ {
+		if err := rt.route(v, nodes[v].Init(ctxs[v])); err != nil {
+			return rt.res, fmt.Errorf("init of node %d: %w", v, err)
+		}
+	}
+	done := make([]bool, n)
+	remaining := n
+	for round := 1; remaining > 0; round++ {
+		if round > cfg.MaxRounds {
+			return rt.res, fmt.Errorf("%w: %d", ErrRoundLimit, cfg.MaxRounds)
+		}
+		inboxes := rt.flush()
+		rt.round = round
+		prevMsgs, prevBits := rt.res.Messages, rt.res.TotalBits
+		active := 0
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			active++
+			outs, fin := nodes[v].Round(ctxs[v], round, inboxes[v])
+			if err := rt.route(v, outs); err != nil {
+				return rt.res, fmt.Errorf("round %d, node %d: %w", round, v, err)
+			}
+			if fin {
+				done[v] = true
+				remaining--
+			}
+		}
+		rt.res.Rounds = round
+		if cfg.OnRound != nil {
+			cfg.OnRound(RoundStats{
+				Round:       round,
+				ActiveNodes: active,
+				Messages:    rt.res.Messages - prevMsgs,
+				Bits:        rt.res.TotalBits - prevBits,
+			})
+		}
+	}
+	return rt.res, nil
+}
+
+// runGoroutines executes each node in its own goroutine, synchronized
+// by per-round channels. The coordinator routes messages between
+// rounds, so results are identical to the lockstep driver.
+func runGoroutines(nw *Network, nodes []Node, cfg Config) (Result, error) {
+	n := nw.N()
+	type roundIn struct {
+		round int
+		inbox []Message
+	}
+	type roundOut struct {
+		outs []Outgoing
+		done bool
+	}
+	ins := make([]chan roundIn, n)
+	outs := make([]chan roundOut, n)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		ins[v] = make(chan roundIn)
+		// Buffer of one: a node never has more than one un-collected
+		// round output, so sends never block and an error return in the
+		// coordinator cannot deadlock a mid-send node.
+		outs[v] = make(chan roundOut, 1)
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			ctx := nw.context(v)
+			init := nodes[v].Init(ctx)
+			outs[v] <- roundOut{outs: init}
+			for ri := range ins[v] {
+				o, d := nodes[v].Round(ctx, ri.round, ri.inbox)
+				outs[v] <- roundOut{outs: o, done: d}
+				if d {
+					return
+				}
+			}
+		}(v)
+	}
+	// Ensure the node goroutines are released even on an error return:
+	// close every input channel still open.
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	defer func() {
+		for v, a := range alive {
+			if a {
+				close(ins[v])
+			}
+		}
+		wg.Wait()
+	}()
+
+	rt := newRouter(nw, cfg)
+	for v := 0; v < n; v++ {
+		ro := <-outs[v]
+		if err := rt.route(v, ro.outs); err != nil {
+			return rt.res, fmt.Errorf("init of node %d: %w", v, err)
+		}
+	}
+	remaining := n
+	for round := 1; remaining > 0; round++ {
+		if round > cfg.MaxRounds {
+			return rt.res, fmt.Errorf("%w: %d", ErrRoundLimit, cfg.MaxRounds)
+		}
+		inboxes := rt.flush()
+		rt.round = round
+		prevMsgs, prevBits := rt.res.Messages, rt.res.TotalBits
+		active := 0
+		// Kick off all alive nodes for this round, then collect in id
+		// order so routing is deterministic.
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				active++
+				ins[v] <- roundIn{round: round, inbox: inboxes[v]}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			ro := <-outs[v]
+			if err := rt.route(v, ro.outs); err != nil {
+				return rt.res, fmt.Errorf("round %d, node %d: %w", round, v, err)
+			}
+			if ro.done {
+				close(ins[v])
+				alive[v] = false
+				remaining--
+			}
+		}
+		rt.res.Rounds = round
+		if cfg.OnRound != nil {
+			cfg.OnRound(RoundStats{
+				Round:       round,
+				ActiveNodes: active,
+				Messages:    rt.res.Messages - prevMsgs,
+				Bits:        rt.res.TotalBits - prevBits,
+			})
+		}
+	}
+	return rt.res, nil
+}

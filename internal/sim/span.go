@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Span records one step of a composed algorithm — a sub-protocol run,
+// a recursion level, a class sweep — as a node in a tree. The
+// orchestrators (Fast-Two-Sweep, the color space reduction, the
+// slack reductions, the (deg+1) pipeline) attach child spans to
+// Config.Span, so a run's composition structure can be rendered
+// afterwards.
+//
+// All methods are nil-safe: with a nil receiver they do nothing and
+// return nil, so the orchestration code records unconditionally and
+// callers opt in by supplying a root span.
+type Span struct {
+	Label    string
+	Stats    Result
+	Children []*Span
+}
+
+// NewSpan returns a root span to pass as Config.Span.
+func NewSpan(label string) *Span { return &Span{Label: label} }
+
+// Child appends and returns a new child span. Returns nil when the
+// receiver is nil.
+func (s *Span) Child(label string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Label: label}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// Done records the step's aggregated statistics.
+func (s *Span) Done(stats Result) {
+	if s == nil {
+		return
+	}
+	s.Stats = stats
+}
+
+// Count returns the total number of spans in the tree (including the
+// receiver); 0 for nil.
+func (s *Span) Count() int {
+	if s == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range s.Children {
+		n += c.Count()
+	}
+	return n
+}
+
+// Render returns an indented tree, truncated at maxDepth levels
+// (0 = just the root). Sibling runs beyond maxWide per level are
+// summarized as a single "... (+k more)" line so deep recursions stay
+// readable.
+func (s *Span) Render(maxDepth, maxWide int) string {
+	if s == nil {
+		return "(no spans recorded)\n"
+	}
+	var b strings.Builder
+	s.render(&b, 0, maxDepth, maxWide)
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, depth, maxDepth, maxWide int) {
+	fmt.Fprintf(b, "%s%s  [rounds=%d msgs=%d bits=%d]\n",
+		strings.Repeat("  ", depth), s.Label, s.Stats.Rounds, s.Stats.Messages, s.Stats.TotalBits)
+	if depth == maxDepth {
+		if len(s.Children) > 0 {
+			fmt.Fprintf(b, "%s… %d nested spans\n", strings.Repeat("  ", depth+1), s.Count()-1)
+		}
+		return
+	}
+	shown := len(s.Children)
+	if maxWide > 0 && shown > maxWide {
+		shown = maxWide
+	}
+	for _, c := range s.Children[:shown] {
+		c.render(b, depth+1, maxDepth, maxWide)
+	}
+	if rest := len(s.Children) - shown; rest > 0 {
+		fmt.Fprintf(b, "%s… (+%d more siblings)\n", strings.Repeat("  ", depth+1), rest)
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"listcolor/internal/graph"
+	"strings"
+	"testing"
+)
+
+func TestSpanTreeConstruction(t *testing.T) {
+	root := NewSpan("root")
+	a := root.Child("a")
+	b := root.Child("b")
+	a1 := a.Child("a1")
+	a.Done(Result{Rounds: 5})
+	b.Done(Result{Rounds: 2})
+	a1.Done(Result{Rounds: 3, Messages: 7})
+	root.Done(Result{Rounds: 7})
+
+	if root.Count() != 4 {
+		t.Errorf("Count = %d, want 4", root.Count())
+	}
+	if len(root.Children) != 2 || len(a.Children) != 1 {
+		t.Error("tree shape wrong")
+	}
+	if a1.Stats.Messages != 7 {
+		t.Error("Done did not record stats")
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Error("nil span produced a child")
+	}
+	c.Done(Result{Rounds: 1}) // must not panic
+	if s.Count() != 0 {
+		t.Error("nil Count != 0")
+	}
+	if !strings.Contains(s.Render(3, 3), "no spans") {
+		t.Error("nil Render message missing")
+	}
+}
+
+func TestSpanRenderDepthAndWidth(t *testing.T) {
+	root := NewSpan("root")
+	for i := 0; i < 10; i++ {
+		c := root.Child("child")
+		c.Child("grandchild").Done(Result{})
+		c.Done(Result{Rounds: i})
+	}
+	root.Done(Result{Rounds: 100})
+
+	// Depth 0: only the root plus a summary line.
+	shallow := root.Render(0, 5)
+	if strings.Count(shallow, "\n") != 2 {
+		t.Errorf("depth-0 render:\n%s", shallow)
+	}
+	if !strings.Contains(shallow, "20 nested spans") {
+		t.Errorf("depth-0 summary missing:\n%s", shallow)
+	}
+	// Width 3 at depth 1: 3 children + "+7 more".
+	narrow := root.Render(1, 3)
+	if !strings.Contains(narrow, "+7 more siblings") {
+		t.Errorf("width cap missing:\n%s", narrow)
+	}
+	if got := strings.Count(narrow, "child "); got != 3 {
+		t.Errorf("showed %d children, want 3:\n%s", got, narrow)
+	}
+}
+
+func TestSpanThroughConfig(t *testing.T) {
+	// The engine ignores Config.Span; protocols/orchestrators own it.
+	// This pins that passing one through a plain Run is harmless.
+	root := NewSpan("run")
+	nodes, _ := newFloodMaxNodes(4, 1)
+	if _, err := Run(NewNetwork(graph.Ring(4)), nodes, Config{Span: root}); err != nil {
+		t.Fatal(err)
+	}
+	if root.Count() != 1 {
+		t.Errorf("engine should not add spans, Count = %d", root.Count())
+	}
+}

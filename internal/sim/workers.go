@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// runWorkers executes rounds with a fixed worker pool: node Round
+// calls within a round run concurrently (they only read their own
+// state and inbox), while Init calls and all routing happen
+// sequentially in id order, so results are byte-identical to the
+// lockstep driver.
+func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
+	n := nw.N()
+	ctxs := make([]*Context, n)
+	for v := 0; v < n; v++ {
+		ctxs[v] = nw.context(v)
+	}
+	rt := newRouter(nw, cfg)
+	for v := 0; v < n; v++ {
+		if err := rt.route(v, nodes[v].Init(ctxs[v])); err != nil {
+			return rt.res, fmt.Errorf("init of node %d: %w", v, err)
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	done := make([]bool, n)
+	outs := make([][]Outgoing, n)
+	fins := make([]bool, n)
+	remaining := n
+	for round := 1; remaining > 0; round++ {
+		if round > cfg.MaxRounds {
+			return rt.res, fmt.Errorf("%w: %d", ErrRoundLimit, cfg.MaxRounds)
+		}
+		inboxes := rt.flush()
+		rt.round = round
+		prevMsgs, prevBits := rt.res.Messages, rt.res.TotalBits
+		// Collect the active node ids, then fan the Round calls out to
+		// the pool.
+		var active []int
+		for v := 0; v < n; v++ {
+			if !done[v] {
+				active = append(active, v)
+			}
+		}
+		var wg sync.WaitGroup
+		chunk := (len(active) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(active) {
+				hi = len(active)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(ids []int) {
+				defer wg.Done()
+				for _, v := range ids {
+					outs[v], fins[v] = nodes[v].Round(ctxs[v], round, inboxes[v])
+				}
+			}(active[lo:hi])
+		}
+		wg.Wait()
+		// Route sequentially in id order for determinism.
+		for _, v := range active {
+			if err := rt.route(v, outs[v]); err != nil {
+				return rt.res, fmt.Errorf("round %d, node %d: %w", round, v, err)
+			}
+			outs[v] = nil
+			if fins[v] {
+				done[v] = true
+				remaining--
+			}
+		}
+		rt.res.Rounds = round
+		if cfg.OnRound != nil {
+			cfg.OnRound(RoundStats{
+				Round:       round,
+				ActiveNodes: len(active),
+				Messages:    rt.res.Messages - prevMsgs,
+				Bits:        rt.res.TotalBits - prevBits,
+			})
+		}
+	}
+	return rt.res, nil
+}

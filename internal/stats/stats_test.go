@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("order stats wrong: %+v", s)
+	}
+	if !almostEqual(s.Mean, 3, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if !almostEqual(s.Stddev, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("Stddev = %v", s.Stddev)
+	}
+	if !almostEqual(s.Median, 3, 1e-12) {
+		t.Errorf("Median = %v", s.Median)
+	}
+	if !almostEqual(s.P90, 4.6, 1e-12) {
+		t.Errorf("P90 = %v", s.P90)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.Stddev != 0 || s.P90 != 7 {
+		t.Errorf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty sample did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummarizeBoundsQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Median <= s.P90 && s.P90 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	// y = 2x + 1 exactly.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9}
+	f := LinearFit(x, y)
+	if !almostEqual(f.Slope, 2, 1e-12) || !almostEqual(f.Intercept, 1, 1e-12) || !almostEqual(f.R2, 1, 1e-12) {
+		t.Errorf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x, y []float64
+	for i := 1; i <= 200; i++ {
+		x = append(x, float64(i))
+		y = append(y, 3*float64(i)-5+rng.NormFloat64())
+	}
+	f := LinearFit(x, y)
+	if !almostEqual(f.Slope, 3, 0.01) {
+		t.Errorf("Slope = %v, want ≈3", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Errorf("R2 = %v", f.R2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"length mismatch": func() { LinearFit([]float64{1}, []float64{1, 2}) },
+		"too few points":  func() { LinearFit([]float64{1}, []float64{1}) },
+		"degenerate x":    func() { LinearFit([]float64{2, 2}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPowerLawExponent(t *testing.T) {
+	// y = 5·x^1.5.
+	var x, y []float64
+	for i := 1; i <= 40; i++ {
+		x = append(x, float64(i))
+		y = append(y, 5*math.Pow(float64(i), 1.5))
+	}
+	f := PowerLawExponent(x, y)
+	if !almostEqual(f.Slope, 1.5, 1e-9) {
+		t.Errorf("exponent = %v, want 1.5", f.Slope)
+	}
+	// sqrt vs linear distinguishable: y = √x has exponent 0.5.
+	var y2 []float64
+	for i := 1; i <= 40; i++ {
+		y2 = append(y2, math.Sqrt(float64(i)))
+	}
+	if got := PowerLawExponent(x, y2).Slope; !almostEqual(got, 0.5, 1e-9) {
+		t.Errorf("sqrt exponent = %v", got)
+	}
+}
+
+func TestPowerLawPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive input did not panic")
+		}
+	}()
+	PowerLawExponent([]float64{1, 0}, []float64{1, 2})
+}

@@ -1,0 +1,136 @@
+// Package trace records the per-round progression of a simulator run
+// — active nodes, message volume, bit volume — and renders it for
+// humans (a sparkline-style ASCII timeline) or machines (JSON lines).
+// It plugs into sim.Config.OnRound, so tracing requires no changes to
+// protocols.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"listcolor/internal/sim"
+)
+
+// Recorder collects RoundStats. The zero value is ready to use; attach
+// it with Attach or by passing Hook() as Config.OnRound.
+type Recorder struct {
+	rounds []sim.RoundStats
+}
+
+// Hook returns the callback to install as sim.Config.OnRound.
+func (r *Recorder) Hook() func(sim.RoundStats) {
+	return func(rs sim.RoundStats) { r.rounds = append(r.rounds, rs) }
+}
+
+// Attach installs the recorder into cfg (chaining any existing hook)
+// and returns the modified config.
+func (r *Recorder) Attach(cfg sim.Config) sim.Config {
+	prev := cfg.OnRound
+	hook := r.Hook()
+	cfg.OnRound = func(rs sim.RoundStats) {
+		hook(rs)
+		if prev != nil {
+			prev(rs)
+		}
+	}
+	return cfg
+}
+
+// Len returns the number of recorded rounds.
+func (r *Recorder) Len() int { return len(r.rounds) }
+
+// Rounds returns the recorded stats (owned by the recorder).
+func (r *Recorder) Rounds() []sim.RoundStats { return r.rounds }
+
+// Reset discards all recorded rounds.
+func (r *Recorder) Reset() { r.rounds = nil }
+
+// WriteJSONL emits one JSON object per recorded round.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rs := range r.rounds {
+		if err := enc.Encode(rs); err != nil {
+			return fmt.Errorf("trace: encoding round %d: %w", rs.Round, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a stream written by WriteJSONL.
+func ReadJSONL(rd io.Reader) ([]sim.RoundStats, error) {
+	dec := json.NewDecoder(rd)
+	var out []sim.RoundStats
+	for dec.More() {
+		var rs sim.RoundStats
+		if err := dec.Decode(&rs); err != nil {
+			return nil, fmt.Errorf("trace: decoding round %d: %w", len(out)+1, err)
+		}
+		out = append(out, rs)
+	}
+	return out, nil
+}
+
+// sparkLevels are the eight block characters used by the timeline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders values as a block-character sparkline scaled to the
+// series maximum.
+func spark(values []int) string {
+	max := 0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > 0 {
+			idx = v * (len(sparkLevels) - 1) / max
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Timeline renders the recorded run as an ASCII report: one sparkline
+// per metric, downsampled to at most width columns (each column
+// aggregates a bucket of consecutive rounds by sum for volumes and max
+// for active nodes).
+func (r *Recorder) Timeline(width int) string {
+	if len(r.rounds) == 0 {
+		return "trace: no rounds recorded\n"
+	}
+	if width < 1 {
+		width = 80
+	}
+	buckets := len(r.rounds)
+	if buckets > width {
+		buckets = width
+	}
+	active := make([]int, buckets)
+	msgs := make([]int, buckets)
+	bits := make([]int, buckets)
+	for i, rs := range r.rounds {
+		b := i * buckets / len(r.rounds)
+		if rs.ActiveNodes > active[b] {
+			active[b] = rs.ActiveNodes
+		}
+		msgs[b] += rs.Messages
+		bits[b] += rs.Bits
+	}
+	total := sim.Result{}
+	for _, rs := range r.rounds {
+		total.Messages += rs.Messages
+		total.TotalBits += rs.Bits
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "rounds: %d   messages: %d   bits: %d\n", len(r.rounds), total.Messages, total.TotalBits)
+	fmt.Fprintf(&out, "active   |%s|\n", spark(active))
+	fmt.Fprintf(&out, "messages |%s|\n", spark(msgs))
+	fmt.Fprintf(&out, "bits     |%s|\n", spark(bits))
+	return out.String()
+}

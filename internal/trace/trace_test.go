@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"listcolor/internal/graph"
+	"listcolor/internal/linial"
+	"listcolor/internal/sim"
+)
+
+func recordLinialRun(t *testing.T) *Recorder {
+	t.Helper()
+	rec := &Recorder{}
+	g := graph.RandomRegular(128, 6, rand.New(rand.NewSource(42)))
+	if _, err := linial.ColorFromIDs(g, rec.Attach(sim.Config{})); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderCapturesRounds(t *testing.T) {
+	rec := recordLinialRun(t)
+	if rec.Len() == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	for i, rs := range rec.Rounds() {
+		if rs.Round != i+1 {
+			t.Errorf("round %d recorded as %d", i+1, rs.Round)
+		}
+	}
+}
+
+func TestAttachChains(t *testing.T) {
+	rec := &Recorder{}
+	called := 0
+	cfg := rec.Attach(sim.Config{OnRound: func(sim.RoundStats) { called++ }})
+	g := graph.Ring(16)
+	if _, err := linial.ColorFromIDs(g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if called != rec.Len() || called == 0 {
+		t.Errorf("chained hook called %d times, recorder has %d", called, rec.Len())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	rec := recordLinialRun(t)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != rec.Len() {
+		t.Fatalf("round trip lost rounds: %d vs %d", len(got), rec.Len())
+	}
+	for i := range got {
+		if got[i] != rec.Rounds()[i] {
+			t.Fatalf("round %d differs: %+v vs %+v", i, got[i], rec.Rounds()[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	rec := recordLinialRun(t)
+	out := rec.Timeline(40)
+	for _, want := range []string{"rounds:", "active", "messages", "bits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Downsampling: sparkline no wider than requested.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") {
+			inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+			if len([]rune(inner)) > 40 {
+				t.Errorf("sparkline wider than 40: %d", len([]rune(inner)))
+			}
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	rec := &Recorder{}
+	if !strings.Contains(rec.Timeline(10), "no rounds") {
+		t.Error("empty timeline message missing")
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestSparkShapes(t *testing.T) {
+	if got := spark([]int{0, 0, 0}); got != "▁▁▁" {
+		t.Errorf("all-zero spark = %q", got)
+	}
+	got := spark([]int{0, 4, 8})
+	runes := []rune(got)
+	if len(runes) != 3 || runes[0] != '▁' || runes[2] != '█' {
+		t.Errorf("spark([0,4,8]) = %q", got)
+	}
+}

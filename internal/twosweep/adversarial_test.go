@@ -1,0 +1,165 @@
+package twosweep
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+	"listcolor/internal/sim"
+)
+
+// TestSlackBoundaryExact probes the exact boundary of Equation (2):
+// Σ(d+1) = max{p,|L|/p}·β must be rejected, Σ(d+1) = that value + 1
+// must succeed and produce a valid OLDC.
+func TestSlackBoundaryExact(t *testing.T) {
+	// Directed clique-ish: node i points at all j < i, so β_v = v.
+	n := 8
+	g := graph.Complete(n)
+	d := graph.OrientByID(g)
+	init := make([]int, n)
+	for v := range init {
+		init[v] = v // ids are a proper n-coloring of K_n
+	}
+	p := 2
+	build := func(extra int) *coloring.Instance {
+		inst := &coloring.Instance{Space: 64, Lists: make([][]int, n), Defects: make([][]int, n)}
+		for v := 0; v < n; v++ {
+			beta := d.Beta(v)
+			k := p * p // |L| = p² so max{p, |L|/p} = p
+			budget := p*beta + extra
+			if budget < k {
+				budget = k + extra // keep the relative margin for sinks
+			}
+			inst.Lists[v] = make([]int, k)
+			for i := range inst.Lists[v] {
+				inst.Lists[v][i] = i * 3
+			}
+			inst.Defects[v] = make([]int, k)
+			rem := budget - k
+			for i := 0; rem > 0; i = (i + 1) % k {
+				inst.Defects[v][i]++
+				rem--
+			}
+			// Node with outdeg 0 is exempt from the check; ensure lists
+			// stay non-empty regardless.
+		}
+		return inst
+	}
+	// Exactly at the boundary: rejected.
+	if _, err := Solve(d, build(0), init, n, p, sim.Config{}); !errors.Is(err, ErrSlack) {
+		t.Errorf("boundary instance: err = %v, want ErrSlack", err)
+	}
+	// One above: succeeds and validates.
+	res, err := Solve(d, build(1), init, n, p, sim.Config{})
+	if err != nil {
+		t.Fatalf("boundary+1 instance: %v", err)
+	}
+	if err := coloring.ValidateOLDC(d, build(1), res.Colors); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPhaseIIAlwaysFindsColor floods many trials of the tightest
+// instances the generator can make and asserts Phase II never gets
+// stuck (Lemma 3.2 is a worst-case guarantee, so a single failure
+// would falsify the implementation).
+func TestPhaseIIAlwaysFindsColor(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 20 + trial%30
+		g := graph.GNP(n, 0.35, rng)
+		d := graph.OrientRandom(g, rng)
+		init := make([]int, n)
+		for v := range init {
+			init[v] = v
+		}
+		p := 1 + trial%3
+		inst := coloring.MinSlackOriented(d, 4*p*p+10, p, 0, rng)
+		res, err := Solve(d, inst, init, n, p, sim.Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := coloring.ValidateOLDC(d, inst, res.Colors); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestSingleClassColoring runs on an edgeless graph: the protocol
+// short-circuits to a single round (no conflicts are possible).
+func TestSingleClassColoring(t *testing.T) {
+	g := graph.New(5)
+	d := graph.OrientByID(g)
+	inst := &coloring.Instance{Space: 2, Lists: make([][]int, 5), Defects: make([][]int, 5)}
+	for v := 0; v < 5; v++ {
+		inst.Lists[v] = []int{1}
+		inst.Defects[v] = []int{1} // Σ(d+1) = 2 > 1·β_v = 1
+	}
+	res, err := Solve(d, inst, make([]int, 5), 1, 1, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1 (edgeless fast path)", res.Stats.Rounds)
+	}
+	for v, c := range res.Colors {
+		if c != 1 {
+			t.Errorf("node %d color %d, want 1", v, c)
+		}
+	}
+}
+
+// TestHugePClampsToList exercises p far larger than any list: S_v is
+// the whole list and the algorithm degenerates to one-shot selection.
+func TestHugePClampsToList(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Ring(12)
+	d := graph.OrientByID(g)
+	init := make([]int, 12)
+	for v := range init {
+		init[v] = v
+	}
+	p := 50
+	inst := coloring.Uniform(12, 200, 4, 25, rng) // Σ(d+1) = 104 > 50·2
+	res, err := Solve(d, inst, init, 12, p, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.ValidateOLDC(d, inst, res.Colors); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzSolve drives the full Two-Sweep pipeline from fuzzed parameters:
+// whatever the inputs, the algorithm must either reject cleanly or
+// produce a valid OLDC.
+func FuzzSolve(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(1), uint8(2))
+	f.Add(int64(2), uint8(30), uint8(2), uint8(0))
+	f.Add(int64(3), uint8(50), uint8(3), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, rawN, rawP, rawDef uint8) {
+		n := int(rawN%40) + 4
+		p := int(rawP%4) + 1
+		extraDefect := int(rawDef % 8)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(n, 0.3, rng)
+		d := graph.OrientRandom(g, rng)
+		init := make([]int, n)
+		for v := range init {
+			init[v] = v
+		}
+		inst := coloring.Uniform(n, 4*p*p+16, p*p, extraDefect, rng)
+		res, err := Solve(d, inst, init, n, p, sim.Config{})
+		if err != nil {
+			if errors.Is(err, ErrSlack) {
+				return // correctly rejected
+			}
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		if err := coloring.ValidateOLDC(d, inst, res.Colors); err != nil {
+			t.Fatalf("accepted run produced invalid OLDC: %v", err)
+		}
+	})
+}

@@ -1,0 +1,302 @@
+package twosweep
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+	"listcolor/internal/linial"
+	"listcolor/internal/logstar"
+	"listcolor/internal/sim"
+)
+
+// properColoring computes a proper coloring of g via Linial.
+func properColoring(t testing.TB, g *graph.Graph) ([]int, int) {
+	t.Helper()
+	res, err := linial.ColorFromIDs(g, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Colors, res.Palette
+}
+
+func TestSolveBasicOLDC(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomRegular(60, 6, rng)
+	d := graph.OrientByID(g)
+	init, q := properColoring(t, g)
+	p := 3
+	inst := coloring.MinSlackOriented(d, 100, p, 0, rng)
+	res, err := Solve(d, inst, init, q, p, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.ValidateOLDC(d, inst, res.Colors); err != nil {
+		t.Errorf("output invalid: %v", err)
+	}
+	if res.Stats.Rounds != 2*q+1 {
+		t.Errorf("Rounds = %d, want 2q+1 = %d", res.Stats.Rounds, 2*q+1)
+	}
+}
+
+func TestSolveZeroDefectIsProperListColoring(t *testing.T) {
+	// p = β+1, all defects 0, lists of size p²=(β+1)² — the "list
+	// coloring with bounded outdegree" application from Section 1.1.
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomRegular(80, 6, rng)
+	d := graph.OrientByDegeneracy(g)
+	beta := d.MaxBeta()
+	p := beta + 1
+	init, q := properColoring(t, g)
+	space := 4 * p * p
+	inst := coloring.Uniform(g.N(), space, p*p, 0, rng)
+	if err := CheckSlack(d, inst, p, 0); err != nil {
+		t.Fatalf("instance should satisfy slack: %v", err)
+	}
+	res, err := Solve(d, inst, init, q, p, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.ValidateProperList(g, inst, res.Colors); err != nil {
+		t.Errorf("zero-defect output not a proper list coloring: %v", err)
+	}
+}
+
+func TestSolveSlackRejection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Ring(12)
+	d := graph.OrientByID(g)
+	init, q := properColoring(t, g)
+	// All-zero defects with list size p²=4 and β=2: Σ(d+1)=4 = p·β — not
+	// strictly greater, must be rejected.
+	inst := coloring.Uniform(12, 10, 4, 0, rng)
+	if _, err := Solve(d, inst, init, q, 2, sim.Config{}); !errors.Is(err, ErrSlack) {
+		t.Errorf("err = %v, want ErrSlack", err)
+	}
+}
+
+func TestSolveInputValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Ring(6)
+	d := graph.OrientByID(g)
+	inst := coloring.Uniform(6, 20, 4, 3, rng)
+	good := []int{0, 1, 0, 1, 0, 1}
+	if _, err := Solve(d, inst, good, 2, 0, sim.Config{}); err == nil {
+		t.Error("accepted p = 0")
+	}
+	if _, err := Solve(d, inst, []int{0, 1}, 2, 2, sim.Config{}); err == nil {
+		t.Error("accepted short init coloring")
+	}
+	if _, err := Solve(d, inst, []int{0, 0, 0, 1, 0, 1}, 2, 2, sim.Config{}); err == nil {
+		t.Error("accepted improper init coloring")
+	}
+	if _, err := Solve(d, inst, []int{0, 1, 0, 1, 0, 5}, 2, 2, sim.Config{}); err == nil {
+		t.Error("accepted out-of-range init color")
+	}
+}
+
+func TestSolveQuickRandomInstances(t *testing.T) {
+	// Property: on random graphs/orientations with minimum-slack
+	// instances, the output is always OLDC-valid.
+	f := func(seed int64, rawN, rawP uint8) bool {
+		n := int(rawN%30) + 8
+		p := int(rawP%3) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(n, 0.25, rng)
+		d := graph.OrientRandom(g, rng)
+		initRes, err := linial.ColorFromIDs(g, sim.Config{})
+		if err != nil {
+			return false
+		}
+		space := 4*p*p + 20
+		inst := coloring.MinSlackOriented(d, space, p, 0, rng)
+		res, err := Solve(d, inst, initRes.Colors, initRes.Palette, p, sim.Config{})
+		if err != nil {
+			return false
+		}
+		return coloring.ValidateOLDC(d, inst, res.Colors) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreeColorDefective(t *testing.T) {
+	// Paper, Section 1.1: list d-defective 3-coloring in O(Δ + log* n)
+	// whenever d > (2Δ−3)/3. With lists {0,1,2}, p=1:
+	// max{p,|L|/p}·β = 3β; Σ(d+1) = 3(d+1) > 3β ⟺ d ≥ β.
+	// Using β = Δ (orienting all edges both... no — orient by id, β≤Δ).
+	for _, n := range []int{9, 24, 60} {
+		g := graph.Ring(n)
+		d := graph.OrientByID(g)
+		init, q := properColoring(t, g)
+		inst := coloring.ThreeColor(n, 2) // d=2 ≥ β=2
+		res, err := Solve(d, inst, init, q, 1, sim.Config{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := coloring.ValidateOLDC(d, inst, res.Colors); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		if mc := graph.MaxColor(res.Colors); mc > 2 {
+			t.Errorf("n=%d: used color %d > 2", n, mc)
+		}
+	}
+}
+
+func TestSolveFastMatchesGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomRegular(150, 8, rng)
+	d := graph.OrientByID(g)
+	init, q := properColoring(t, g)
+	p := 2
+	eps := 1.0
+	inst := coloring.MinSlackOriented(d, 60, p, eps, rng)
+	res, err := SolveFast(d, inst, init, q, p, eps, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.ValidateOLDC(d, inst, res.Colors); err != nil {
+		t.Errorf("fast output invalid: %v", err)
+	}
+	// Round bound: O((p/ε)² + log* q) with a generous constant.
+	pe := float64(p) / eps
+	bound := int(40*(pe*pe+1)) + 8*logstar.LogStar(q) + 20
+	if res.Stats.Rounds > bound {
+		t.Errorf("rounds %d exceed O((p/ε)²+log* q) ≈ %d", res.Stats.Rounds, bound)
+	}
+}
+
+func TestSolveFastEpsZeroFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.Ring(10)
+	d := graph.OrientByID(g)
+	init, q := properColoring(t, g)
+	p := 2
+	inst := coloring.MinSlackOriented(d, 30, p, 0, rng)
+	a, err := SolveFast(d, inst, init, q, p, 0, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(d, inst, init, q, p, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatal("ε=0 fast path differs from Solve")
+		}
+	}
+	if _, err := SolveFast(d, inst, init, q, p, -0.5, sim.Config{}); err == nil {
+		t.Error("accepted negative ε")
+	}
+}
+
+func TestSolveFastQuick(t *testing.T) {
+	f := func(seed int64, rawN, rawP uint8) bool {
+		n := int(rawN%40) + 10
+		p := int(rawP%2) + 1
+		eps := 1.0
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GNP(n, 0.3, rng)
+		d := graph.OrientRandom(g, rng)
+		initRes, err := linial.ColorFromIDs(g, sim.Config{})
+		if err != nil {
+			return false
+		}
+		space := 4*p*p + 30
+		inst := coloring.MinSlackOriented(d, space, p, eps, rng)
+		res, err := SolveFast(d, inst, initRes.Colors, initRes.Palette, p, eps, sim.Config{})
+		if err != nil {
+			return false
+		}
+		return coloring.ValidateOLDC(d, inst, res.Colors) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveCongestMessageShape(t *testing.T) {
+	// Theorem 1.1: nodes forward their initial color, then exchange a
+	// list of ≤ p colors. Check the max message size matches.
+	rng := rand.New(rand.NewSource(9))
+	g := graph.RandomRegular(40, 4, rng)
+	d := graph.OrientByID(g)
+	init, q := properColoring(t, g)
+	p := 2
+	space := 50
+	inst := coloring.MinSlackOriented(d, space, p, 0, rng)
+	expected := sim.IntsPayload{Values: make([]int, p), Domain: space, MaxLen: p}.SizeBits()
+	res, err := Solve(d, inst, init, q, p, sim.Config{BandwidthBits: expected})
+	if err != nil {
+		t.Fatalf("exceeded the p-colors message bound: %v", err)
+	}
+	if res.Stats.MaxMessageBits > expected {
+		t.Errorf("MaxMessageBits = %d > %d", res.Stats.MaxMessageBits, expected)
+	}
+}
+
+func TestSolveDriversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := graph.GNP(35, 0.3, rng)
+	d := graph.OrientByID(g)
+	init, q := properColoring(t, g)
+	p := 2
+	inst := coloring.MinSlackOriented(d, 40, p, 0, rng)
+	a, err := Solve(d, inst, init, q, p, sim.Config{Driver: sim.Lockstep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(d, inst, init, q, p, sim.Config{Driver: sim.Goroutines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatalf("drivers disagree at node %d", v)
+		}
+	}
+}
+
+func TestStarTightInstance(t *testing.T) {
+	// A directed star (center points at all leaves) with minimal slack:
+	// deterministic worst case for Phase II.
+	n := 11
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v)
+	}
+	rank := make([]int, n)
+	rank[0] = n // center highest: all arcs outward
+	for v := 1; v < n; v++ {
+		rank[v] = v
+	}
+	d, err := graph.OrientByRank(g, rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]int, n)
+	init[0] = 1 // proper 2-coloring
+	p := 1
+	// Center: β=10, p=1 ⇒ need Σ(d+1) > 10 with |L|=1: defect 10.
+	inst := &coloring.Instance{Space: 1, Lists: make([][]int, n), Defects: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		inst.Lists[v] = []int{0}
+		if v == 0 {
+			inst.Defects[v] = []int{10}
+		} else {
+			inst.Defects[v] = []int{1} // β_v = 1 by convention ⇒ need > 1
+		}
+	}
+	res, err := Solve(d, inst, init, 2, p, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.ValidateOLDC(d, inst, res.Colors); err != nil {
+		t.Error(err)
+	}
+}

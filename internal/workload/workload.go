@@ -1,0 +1,200 @@
+// Package workload is the shared registry of named graph families used
+// by the command-line tools and the benchmark harness: one place that
+// maps a family name plus parameters to a generated graph, so
+// `colorsim -graph regular`, `inspect -graph regular` and the
+// experiment tables all mean the same thing.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"listcolor/internal/graph"
+	"listcolor/internal/hypergraph"
+)
+
+// Params are the knobs a family may consume; unused fields are
+// ignored by families that do not need them.
+type Params struct {
+	N      int     // vertex budget
+	Degree int     // degree / attachment / rank parameter
+	Prob   float64 // edge probability (gnp)
+	Radius float64 // connection radius (udg)
+	Seed   int64
+}
+
+// Family generates graphs of one named family.
+type Family struct {
+	Name        string
+	Description string
+	Build       func(Params) (*graph.Graph, error)
+}
+
+// Families returns the registry, sorted by name.
+func Families() []Family {
+	fams := []Family{
+		{
+			Name:        "ring",
+			Description: "the n-cycle (Δ=2, θ=2)",
+			Build: func(p Params) (*graph.Graph, error) {
+				if p.N < 3 {
+					return nil, fmt.Errorf("workload: ring needs n ≥ 3")
+				}
+				return graph.Ring(p.N), nil
+			},
+		},
+		{
+			Name:        "grid",
+			Description: "⌊√n⌋×⌊√n⌋ grid (Δ≤4)",
+			Build: func(p Params) (*graph.Graph, error) {
+				side := int(math.Round(math.Sqrt(float64(p.N))))
+				if side < 2 {
+					side = 2
+				}
+				return graph.Grid(side, side), nil
+			},
+		},
+		{
+			Name:        "regular",
+			Description: "random d-regular graph",
+			Build: func(p Params) (*graph.Graph, error) {
+				n, d := p.N, p.Degree
+				if d < 0 || d >= n {
+					return nil, fmt.Errorf("workload: regular needs 0 ≤ d < n")
+				}
+				if (n*d)%2 != 0 {
+					n++
+				}
+				return graph.RandomRegular(n, d, rand.New(rand.NewSource(p.Seed))), nil
+			},
+		},
+		{
+			Name:        "gnp",
+			Description: "Erdős–Rényi G(n, p)",
+			Build: func(p Params) (*graph.Graph, error) {
+				if p.Prob < 0 || p.Prob > 1 {
+					return nil, fmt.Errorf("workload: gnp needs 0 ≤ prob ≤ 1")
+				}
+				return graph.GNP(p.N, p.Prob, rand.New(rand.NewSource(p.Seed))), nil
+			},
+		},
+		{
+			Name:        "powerlaw",
+			Description: "preferential attachment with k links per vertex",
+			Build: func(p Params) (*graph.Graph, error) {
+				if p.Degree < 1 || p.N < p.Degree+1 {
+					return nil, fmt.Errorf("workload: powerlaw needs k ≥ 1 and n > k")
+				}
+				return graph.PowerLaw(p.N, p.Degree, rand.New(rand.NewSource(p.Seed))), nil
+			},
+		},
+		{
+			Name:        "complete",
+			Description: "the complete graph K_n",
+			Build: func(p Params) (*graph.Graph, error) {
+				if p.N < 1 {
+					return nil, fmt.Errorf("workload: complete needs n ≥ 1")
+				}
+				return graph.Complete(p.N), nil
+			},
+		},
+		{
+			Name:        "hypercube",
+			Description: "largest hypercube with ≤ n vertices",
+			Build: func(p Params) (*graph.Graph, error) {
+				if p.N < 2 {
+					return nil, fmt.Errorf("workload: hypercube needs n ≥ 2")
+				}
+				d := 1
+				for 1<<uint(d+1) <= p.N {
+					d++
+				}
+				return graph.Hypercube(d), nil
+			},
+		},
+		{
+			Name:        "tree",
+			Description: "complete d-ary tree with ≈n vertices",
+			Build: func(p Params) (*graph.Graph, error) {
+				k := p.Degree
+				if k < 1 {
+					k = 2
+				}
+				levels := 1
+				total, width := 1, 1
+				for total < p.N {
+					width *= k
+					total += width
+					levels++
+				}
+				return graph.CompleteKaryTree(k, levels), nil
+			},
+		},
+		{
+			Name:        "udg",
+			Description: "random unit-disk graph (θ ≤ 5)",
+			Build: func(p Params) (*graph.Graph, error) {
+				r := p.Radius
+				if r == 0 {
+					r = 0.1
+				}
+				if r < 0 {
+					return nil, fmt.Errorf("workload: udg needs radius ≥ 0")
+				}
+				return graph.RandomGeometric(p.N, r, rand.New(rand.NewSource(p.Seed))).Graph, nil
+			},
+		},
+		{
+			Name:        "linegraph",
+			Description: "line graph of a random d-regular graph (θ ≤ 2)",
+			Build: func(p Params) (*graph.Graph, error) {
+				n, d := p.N, p.Degree
+				if d < 1 || d >= n {
+					return nil, fmt.Errorf("workload: linegraph needs 1 ≤ d < n")
+				}
+				if (n*d)%2 != 0 {
+					n++
+				}
+				base := graph.RandomRegular(n, d, rand.New(rand.NewSource(p.Seed)))
+				lg, _ := graph.LineGraph(base)
+				return lg, nil
+			},
+		},
+		{
+			Name:        "hyperline",
+			Description: "line graph of a random rank-r hypergraph (θ ≤ r, r = degree param)",
+			Build: func(p Params) (*graph.Graph, error) {
+				r := p.Degree
+				if r < 2 {
+					return nil, fmt.Errorf("workload: hyperline needs rank ≥ 2")
+				}
+				h := hypergraph.RandomRegularRank(p.N, p.N, r, rand.New(rand.NewSource(p.Seed)))
+				return h.LineGraph(), nil
+			},
+		},
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	return fams
+}
+
+// Build generates a graph of the named family.
+func Build(name string, p Params) (*graph.Graph, error) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f.Build(p)
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown family %q (known: %v)", name, Names())
+}
+
+// Names lists the registered family names.
+func Names() []string {
+	fams := Families()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.Name
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestAllFamiliesBuild(t *testing.T) {
+	p := Params{N: 40, Degree: 3, Prob: 0.2, Radius: 0.15, Seed: 1}
+	for _, f := range Families() {
+		g, err := f.Build(p)
+		if err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+			continue
+		}
+		if g.N() == 0 {
+			t.Errorf("%s: empty graph", f.Name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestBuildByName(t *testing.T) {
+	g, err := Build("ring", Params{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 || g.M() != 10 {
+		t.Errorf("ring(10): %v", g)
+	}
+	if _, err := Build("nosuch", Params{}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestFamilyValidation(t *testing.T) {
+	cases := []struct {
+		family string
+		p      Params
+	}{
+		{"ring", Params{N: 2}},
+		{"regular", Params{N: 4, Degree: 9}},
+		{"gnp", Params{N: 5, Prob: 2}},
+		{"powerlaw", Params{N: 2, Degree: 3}},
+		{"complete", Params{N: 0}},
+		{"hypercube", Params{N: 1}},
+		{"udg", Params{N: 5, Radius: -1}},
+		{"linegraph", Params{N: 4, Degree: 0}},
+		{"hyperline", Params{N: 6, Degree: 1}},
+	}
+	for _, c := range cases {
+		if _, err := Build(c.family, c.p); err == nil {
+			t.Errorf("%s with %+v accepted", c.family, c.p)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range []string{"regular", "gnp", "udg", "powerlaw"} {
+		p := Params{N: 30, Degree: 3, Prob: 0.3, Radius: 0.2, Seed: 7}
+		a, err := Build(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Build(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ea, eb := a.Edges(), b.Edges()
+		if len(ea) != len(eb) {
+			t.Fatalf("%s: nondeterministic edge count", name)
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("%s: nondeterministic edges", name)
+			}
+		}
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("only %d families", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package listcolor
+
+// Large-scale stress tests, skipped in -short mode: they pin down that
+// the simulator and the full pipelines stay correct and tractable at
+// sizes well beyond the unit tests.
+
+import (
+	"testing"
+)
+
+func TestStressLinialLargeRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := NewRing(100_000)
+	res, err := LinialColor(g, Config{Driver: Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := IsProperColoring(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds > 10 {
+		t.Errorf("log*(1e5) regime needs ≤ 10 rounds, got %d", res.Stats.Rounds)
+	}
+}
+
+func TestStressTwoSweepLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := NewRandomRegular(20_000, 10, 1)
+	d := OrientByID(g)
+	base, err := LinialColor(g, Config{Driver: Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 3
+	inst := NewMinSlackInstance(d, 100, p, 0, 2)
+	res, err := TwoSweep(d, inst, base.Colors, base.Palette, p, Config{Driver: Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateOLDC(d, inst, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 2*base.Palette+1 {
+		t.Errorf("rounds %d != 2q+1", res.Stats.Rounds)
+	}
+}
+
+func TestStressDegPlusOneMediumDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := NewRandomRegular(2_000, 16, 3)
+	inst := NewDegreePlusOneInstance(g, 17, 4)
+	res, err := ColorDegPlusOne(g, inst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProperList(g, inst, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStressEdgeColorDenser(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := NewComplete(10) // line graph: 45 nodes, Δ_L = 16
+	colors, palette, _, err := EdgeColor(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	for i := range edges {
+		for j := i + 1; j < len(edges); j++ {
+			share := edges[i][0] == edges[j][0] || edges[i][0] == edges[j][1] ||
+				edges[i][1] == edges[j][0] || edges[i][1] == edges[j][1]
+			if share && colors[i] == colors[j] {
+				t.Fatalf("incident edges share color %d", colors[i])
+			}
+		}
+	}
+	if palette != 2*g.MaxDegree()-1 {
+		t.Errorf("palette %d", palette)
+	}
+}
+
+func TestStressGeneralSolverMedium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := NewGNP(400, 0.05, 5)
+	inst := NewDegreePlusOneInstance(g, g.MaxDegree()+1, 6)
+	res, err := SolveArbdefective(g, inst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProperList(g, inst, res.Result.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
