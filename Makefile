@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz tables cover clean
+.PHONY: all build vet test race bench fuzz tables cover conform conformance clean
 
 all: build vet test
 
@@ -24,8 +24,16 @@ bench:
 
 fuzz:
 	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 15s ./internal/graph
+	$(GO) test -fuzz FuzzOrientRoundTrip -fuzztime 15s ./internal/graph
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 15s ./internal/coloring
 	$(GO) test -fuzz FuzzSolve -fuzztime 30s ./internal/twosweep
+
+# Conformance matrix: CLI summary / heavy go-test tier (docs/TESTING.md).
+conform:
+	$(GO) run ./cmd/conform -seed 1
+
+conformance:
+	$(GO) test -tags conformance -v ./internal/conformance/...
 
 # Regenerate the EXPERIMENTS.md tables (markdown on stdout).
 tables:

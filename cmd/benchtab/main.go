@@ -13,32 +13,40 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"listcolor/internal/bench"
 )
 
 func main() {
-	var (
-		run      = flag.String("run", "", "run a single experiment by ID (e.g. E4); empty = all")
-		quick    = flag.Bool("quick", false, "smaller parameter sweeps")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
-		outPath  = flag.String("o", "", "write output to a file instead of stdout")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	out := os.Stdout
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runID    = fs.String("run", "", "run a single experiment by ID (e.g. E4); empty = all")
+		quick    = fs.Bool("quick", false, "smaller parameter sweeps")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		outPath  = fs.String("o", "", "write output to a file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	out := stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "benchtab:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "benchtab:", err)
 			}
 		}()
 		out = f
@@ -46,11 +54,11 @@ func main() {
 
 	opt := bench.Options{Seed: *seed, Quick: *quick}
 	var tables []bench.Table
-	if *run != "" {
-		tb, err := bench.Run(*run, opt)
+	if *runID != "" {
+		tb, err := bench.Run(*runID, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
 		}
 		tables = []bench.Table{tb}
 	} else {
@@ -66,4 +74,5 @@ func main() {
 			fmt.Fprint(out, tb.Format())
 		}
 	}
+	return 0
 }

@@ -1,0 +1,70 @@
+// Command conform runs the conformance matrix — every solver over the
+// shared seeded workload matrix, with driver equivalence, validator,
+// theorem-guarantee, metamorphic and differential checks — and prints
+// a pass/fail matrix. It exits non-zero when any cell fails.
+//
+// Usage:
+//
+//	go run ./cmd/conform [-seed N] [-heavy] [-faults=false]
+//	                     [-workload substr] [-solver substr] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"listcolor/internal/conformance"
+	"listcolor/internal/quality"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("conform", flag.ContinueOnError)
+	fs.SetOutput(w)
+	seed := fs.Int64("seed", 1, "base seed for workload and instance generation")
+	heavy := fs.Bool("heavy", false, "run the widened heavy-tier matrix")
+	faults := fs.Bool("faults", true, "also check driver equivalence under message drops")
+	workload := fs.String("workload", "", "only workloads whose name contains this substring")
+	solver := fs.String("solver", "", "only solvers whose name contains this substring")
+	verbose := fs.Bool("v", false, "print every guarantee check with its headroom")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	results, err := conformance.RunMatrix(conformance.Options{
+		Seed:           *seed,
+		Heavy:          *heavy,
+		Faults:         *faults,
+		WorkloadFilter: *workload,
+		SolverFilter:   *solver,
+	})
+	if err != nil {
+		fmt.Fprintf(w, "conform: %v\n", err)
+		return 2
+	}
+	fmt.Fprint(w, conformance.FormatMatrix(results))
+	if *verbose {
+		for _, r := range results {
+			if r.Skipped != "" {
+				fmt.Fprintf(w, "\n%s / %s: skipped (%s)\n", r.Workload, r.Solver, r.Skipped)
+				continue
+			}
+			fmt.Fprintf(w, "\n%s / %s:\n%s", r.Workload, r.Solver, quality.FormatChecks(r.Checks))
+		}
+	}
+	for _, r := range results {
+		for _, f := range r.Failures {
+			fmt.Fprintf(w, "FAIL %s / %s: %s\n", r.Workload, r.Solver, f)
+		}
+	}
+	sum := conformance.Summarize(results)
+	fmt.Fprintf(w, "\n%d passed, %d failed, %d skipped (seed %d)\n", sum.Passed, sum.Failed, sum.Skipped, *seed)
+	if sum.Failed > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFilteredMatrix exercises the binary end to end on a small
+// filtered slice of the matrix.
+func TestRunFilteredMatrix(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-seed", "5", "-workload", "ring16", "-faults=false"}, &b)
+	out := b.String()
+	if code != 0 {
+		t.Fatalf("exit code %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "workload") || !strings.Contains(out, "ring16-id") {
+		t.Errorf("matrix header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 failed") {
+		t.Errorf("summary missing or failing:\n%s", out)
+	}
+}
+
+// TestRunBadFlag pins the usage exit code.
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if code := run([]string{"-no-such-flag"}, &b); code != 2 {
+		t.Errorf("exit code %d for unknown flag, want 2", code)
+	}
+}

@@ -1,0 +1,317 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"listcolor/internal/baseline"
+	"listcolor/internal/coloring"
+	"listcolor/internal/quality"
+	"listcolor/internal/sim"
+)
+
+// Options configures a matrix run.
+type Options struct {
+	// Seed drives all workload and instance generation.
+	Seed int64
+	// Heavy widens the workload matrix (the `conformance` test tier).
+	Heavy bool
+	// Faults additionally checks driver equivalence under a
+	// deterministic message-drop schedule.
+	Faults bool
+	// Workloads / SolverFilter restrict the matrix to names containing
+	// the substring (empty = all).
+	WorkloadFilter, SolverFilter string
+	// FaultMaxRounds caps fault-injected runs (drops can stall
+	// composed protocols); 0 means DefaultFaultMaxRounds.
+	FaultMaxRounds int
+}
+
+// DefaultFaultMaxRounds bounds fault-injected runs: long enough for
+// every matrix protocol's clean round count, short enough that a
+// protocol stalled by a dropped message fails fast (and identically
+// under every driver).
+const DefaultFaultMaxRounds = 2000
+
+// CellResult is the outcome of one (workload, solver) cell.
+type CellResult struct {
+	Workload, Solver string
+	// Skipped is non-empty when the pair is incompatible (with the
+	// reason); the cell counts as neither passed nor failed.
+	Skipped string
+	// Checks are the recorded guarantee checks of the reference run.
+	Checks []quality.GuaranteeCheck
+	// Failures lists everything that went wrong (guarantee failures,
+	// driver divergence, metamorphic or differential disagreement).
+	Failures []string
+}
+
+// Passed reports whether the cell ran and every assertion held.
+func (r CellResult) Passed() bool { return r.Skipped == "" && len(r.Failures) == 0 }
+
+// skipReason returns why the solver cannot run on the workload, or "".
+func skipReason(env *Env, s Solver) string {
+	if s.NeedsTheta && env.Theta == 0 {
+		return "needs a known θ bound"
+	}
+	if s.MaxN > 0 && env.G.N() > s.MaxN {
+		return fmt.Sprintf("n=%d exceeds solver cap %d", env.G.N(), s.MaxN)
+	}
+	return ""
+}
+
+// dropFn returns a deterministic fault-injection predicate: a fixed
+// pseudo-random ~7% of all (round, from, to) triples lose their
+// message. Every driver sees the identical schedule.
+func dropFn(seed int64) func(round, from, to int) bool {
+	return func(round, from, to int) bool {
+		x := uint64(seed) ^ uint64(round)*0x9e3779b97f4a7c15 ^ uint64(from)*0xbf58476d1ce4e5b9 ^ uint64(to)*0x94d049bb133111eb
+		x ^= x >> 31
+		x *= 0xd6e8feb86659fd93
+		x ^= x >> 27
+		return x%14 == 0
+	}
+}
+
+// diffFingerprints summarizes how two outputs diverge, for failure
+// messages.
+func diffFingerprints(a, b []byte) string {
+	la := strings.Split(strings.TrimSpace(string(a)), "\n")
+	lb := strings.Split(strings.TrimSpace(string(b)), "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("%q vs %q", truncate(la[i]), truncate(lb[i]))
+		}
+	}
+	return fmt.Sprintf("lengths %d vs %d bytes", len(a), len(b))
+}
+
+func truncate(s string) string {
+	if len(s) > 120 {
+		return s[:117] + "..."
+	}
+	return s
+}
+
+// RunCell executes every conformance check of one matrix cell.
+func RunCell(env *Env, s Solver, opt Options) CellResult {
+	res := CellResult{Workload: env.W.Name, Solver: s.Name}
+	if reason := skipReason(env, s); reason != "" {
+		res.Skipped = reason
+		return res
+	}
+	rng := rand.New(rand.NewSource(opt.Seed ^ int64(hashString(env.W.Name+"/"+s.Name))))
+	c, err := s.Prepare(env, rng)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("prepare: %v", err))
+		return res
+	}
+
+	// (b) Reference run + validator + theorem guarantees with headroom.
+	ref := s.Run(c, sim.Config{Driver: sim.Lockstep})
+	res.Checks = append(res.Checks, quality.CheckHolds("run completes", ref.Err == nil))
+	if ref.Err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("reference run: %v", ref.Err))
+		return res
+	}
+	res.Checks = append(res.Checks, quality.CheckHolds("validator passes", s.Validate(c, ref) == nil))
+	if err := s.Validate(c, ref); err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("validator: %v", err))
+	}
+	res.Checks = append(res.Checks, s.Check(c, ref)...)
+	res.Failures = append(res.Failures, quality.Failures(res.Checks)...)
+
+	// (a) Driver equivalence: byte-identical colors, rounds and
+	// message-bit counts under every driver, clean and faulted.
+	if !s.Sequential {
+		refFP := Fingerprint(ref)
+		for _, d := range sim.AllDrivers()[1:] {
+			out := s.Run(c, sim.Config{Driver: d})
+			if fp := Fingerprint(out); !bytes.Equal(fp, refFP) {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("driver %v diverges from lockstep: %s", d, diffFingerprints(refFP, fp)))
+			}
+		}
+		if opt.Faults {
+			maxRounds := opt.FaultMaxRounds
+			if maxRounds == 0 {
+				maxRounds = DefaultFaultMaxRounds
+			}
+			faultCfg := sim.Config{DropMessage: dropFn(opt.Seed), MaxRounds: maxRounds}
+			faultRef := s.Run(c, faultCfg.WithDriver(sim.Lockstep))
+			faultFP := Fingerprint(faultRef)
+			for _, d := range sim.AllDrivers()[1:] {
+				out := s.Run(c, faultCfg.WithDriver(d))
+				if fp := Fingerprint(out); !bytes.Equal(fp, faultFP) {
+					res.Failures = append(res.Failures,
+						fmt.Sprintf("driver %v diverges from lockstep under fault injection: %s", d, diffFingerprints(faultFP, fp)))
+				}
+			}
+		}
+	}
+
+	// (c) Metamorphic: node-id relabeling.
+	perm := rng.Perm(c.G.N())
+	if c2, err := relabelCase(c, perm); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	} else {
+		out2 := s.Run(c2, sim.Config{Driver: sim.Lockstep})
+		if out2.Err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("relabeled run: %v", out2.Err))
+		} else {
+			if err := s.Validate(c2, out2); err != nil {
+				res.Failures = append(res.Failures, fmt.Sprintf("relabeled run invalid: %v", err))
+			}
+			if s.RelabelRounds && out2.Stats.Rounds != ref.Stats.Rounds {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("relabeling changed rounds: %d vs %d", out2.Stats.Rounds, ref.Stats.Rounds))
+			}
+			if s.Equivariant {
+				for v := range ref.Colors {
+					if out2.Colors[perm[v]] != ref.Colors[v] {
+						res.Failures = append(res.Failures,
+							fmt.Sprintf("relabeling not equivariant at node %d: %d vs %d", v, out2.Colors[perm[v]], ref.Colors[v]))
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// (c) Metamorphic: color-space permutation.
+	if s.ColorPerm && c.Inst != nil {
+		pi := rng.Perm(c.Inst.Space)
+		c3 := permuteColorsCase(c, pi)
+		// Static: the permuted reference output must satisfy the
+		// permuted instance without any rerun.
+		mapped := Output{Colors: mapColors(pi, ref.Colors), Arcs: ref.Arcs}
+		if err := s.Validate(c3, mapped); err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("permuted reference output invalid: %v", err))
+		}
+		// Dynamic: rerunning on the permuted instance stays valid (and
+		// keeps the pinned round count, where the algorithm pins one).
+		out3 := s.Run(c3, sim.Config{Driver: sim.Lockstep})
+		if out3.Err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("color-permuted run: %v", out3.Err))
+		} else {
+			if err := s.Validate(c3, out3); err != nil {
+				res.Failures = append(res.Failures, fmt.Sprintf("color-permuted run invalid: %v", err))
+			}
+			if s.PermuteRounds && out3.Stats.Rounds != ref.Stats.Rounds {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("color permutation changed rounds: %d vs %d", out3.Stats.Rounds, ref.Stats.Rounds))
+			}
+		}
+	}
+
+	// (d) Differential: brute-force subset-search agreement on tiny
+	// instances. The slack condition makes the instance solvable, so
+	// the exponential baseline must agree that a solution exists, and
+	// its solution must pass the same validator.
+	if s.Differential && env.W.Tiny && c.Inst != nil {
+		bfColors, ok := baseline.BruteForceOLDC(c.D, c.Inst)
+		if !ok {
+			res.Failures = append(res.Failures,
+				"differential: brute force found no solution although Two-Sweep solved the instance")
+		} else if err := coloring.ValidateOLDC(c.D, c.Inst, bfColors); err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("differential: brute-force solution invalid: %v", err))
+		}
+		res.Checks = append(res.Checks, quality.CheckHolds("brute force agrees instance is solvable", ok))
+	}
+	return res
+}
+
+// RunMatrix executes the full workload × solver matrix.
+func RunMatrix(opt Options) ([]CellResult, error) {
+	var results []CellResult
+	for _, w := range Matrix(opt.Heavy) {
+		if opt.WorkloadFilter != "" && !strings.Contains(w.Name, opt.WorkloadFilter) {
+			continue
+		}
+		env, err := Materialize(w, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range Solvers() {
+			if opt.SolverFilter != "" && !strings.Contains(s.Name, opt.SolverFilter) {
+				continue
+			}
+			results = append(results, RunCell(env, s, opt))
+		}
+	}
+	return results, nil
+}
+
+// FormatMatrix renders a pass/fail matrix (rows = workloads, columns
+// = solvers) the way cmd/conform prints it.
+func FormatMatrix(results []CellResult) string {
+	var workloads []string
+	var solvers []string
+	seenW := map[string]bool{}
+	seenS := map[string]bool{}
+	cell := map[[2]string]CellResult{}
+	for _, r := range results {
+		if !seenW[r.Workload] {
+			seenW[r.Workload] = true
+			workloads = append(workloads, r.Workload)
+		}
+		if !seenS[r.Solver] {
+			seenS[r.Solver] = true
+			solvers = append(solvers, r.Solver)
+		}
+		cell[[2]string{r.Workload, r.Solver}] = r
+	}
+	wWidth := len("workload")
+	for _, w := range workloads {
+		if len(w) > wWidth {
+			wWidth = len(w)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", wWidth, "workload")
+	for _, s := range solvers {
+		fmt.Fprintf(&b, "  %s", s)
+	}
+	b.WriteByte('\n')
+	for _, w := range workloads {
+		fmt.Fprintf(&b, "%-*s", wWidth, w)
+		for _, s := range solvers {
+			r, ok := cell[[2]string{w, s}]
+			mark := "-"
+			if ok {
+				switch {
+				case r.Skipped != "":
+					mark = "skip"
+				case r.Passed():
+					mark = "ok"
+				default:
+					mark = "FAIL"
+				}
+			}
+			fmt.Fprintf(&b, "  %-*s", len(s), mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary counts the matrix outcome.
+type Summary struct{ Passed, Failed, Skipped int }
+
+// Summarize tallies a result set.
+func Summarize(results []CellResult) Summary {
+	var s Summary
+	for _, r := range results {
+		switch {
+		case r.Skipped != "":
+			s.Skipped++
+		case r.Passed():
+			s.Passed++
+		default:
+			s.Failed++
+		}
+	}
+	return s
+}

@@ -1,0 +1,248 @@
+package conformance
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+	"listcolor/internal/quality"
+	"listcolor/internal/sim"
+	"listcolor/internal/workload"
+)
+
+// TestLightMatrix runs the always-on tier of the full conformance
+// matrix: every solver × every light workload, with driver
+// equivalence (clean and fault-injected), validators, theorem
+// guarantees, metamorphic transforms and the brute-force differential
+// check on tiny cells.
+func TestLightMatrix(t *testing.T) {
+	opt := Options{Seed: 7, Faults: true}
+	for _, w := range Matrix(false) {
+		env, err := Materialize(w, opt.Seed)
+		if err != nil {
+			t.Fatalf("materialize %s: %v", w.Name, err)
+		}
+		for _, s := range Solvers() {
+			t.Run(w.Name+"/"+s.Name, func(t *testing.T) {
+				res := RunCell(env, s, opt)
+				if res.Skipped != "" {
+					t.Skip(res.Skipped)
+				}
+				for _, f := range res.Failures {
+					t.Error(f)
+				}
+				if t.Failed() {
+					t.Logf("checks:\n%s", quality.FormatChecks(res.Checks))
+				}
+			})
+		}
+	}
+}
+
+// TestMatrixShape pins the skip logic: θ-requiring solvers only run
+// where a bound is declared, and size-capped solvers skip big cells.
+func TestMatrixShape(t *testing.T) {
+	env, err := Materialize(Workload{Name: "shape-gnp", Family: "gnp",
+		Params: workload.Params{N: 24, Prob: 0.2}, Orient: "id"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nb Solver
+	for _, s := range Solvers() {
+		if s.Name == "nbhood" {
+			nb = s
+		}
+	}
+	if nb.Name == "" {
+		t.Fatal("nbhood solver not registered")
+	}
+	res := RunCell(env, nb, Options{Seed: 1})
+	if res.Skipped == "" {
+		t.Error("nbhood ran on a workload with no θ bound")
+	}
+	nb.MaxN = 4
+	env.Theta = 2
+	res = RunCell(env, nb, Options{Seed: 1})
+	if res.Skipped == "" {
+		t.Error("solver with MaxN=4 ran on a 24-node workload")
+	}
+}
+
+// TestHeadroomRecorded asserts the harness records explicit
+// constant-factor headroom for the theorem bounds, not just pass/fail.
+func TestHeadroomRecorded(t *testing.T) {
+	env := mustMaterialize(t, "ring16-id")
+	s := mustSolver(t, "twosweep")
+	res := RunCell(env, s, Options{Seed: 7})
+	if len(res.Failures) > 0 {
+		t.Fatalf("cell failed: %v", res.Failures)
+	}
+	var sawBudget, sawRounds bool
+	for _, c := range res.Checks {
+		if strings.Contains(c.Name, "defect-budget") {
+			sawBudget = true
+			if c.Headroom < 0 {
+				t.Errorf("defect budget overdrawn: %v", c)
+			}
+		}
+		if strings.Contains(c.Name, "rounds") {
+			sawRounds = true
+		}
+	}
+	if !sawBudget || !sawRounds {
+		t.Errorf("missing budget/rounds checks in:\n%s", quality.FormatChecks(res.Checks))
+	}
+}
+
+// TestInjectedBudgetOffByOneCaught is the acceptance demonstration: a
+// solver with a deliberately injected defect-budget off-by-one must
+// be caught by the Lemma 3.2 budget checker and the validator. On the
+// oriented 3-path (arcs 1→0, 2→1) with lists {0,1} and defects {1,0},
+// forcing every node to color 1 makes nodes 1 and 2 exceed color 1's
+// zero budget by exactly one — what a `k+r ≤ d+1` bug in the sweep's
+// final color choice would produce.
+func TestInjectedBudgetOffByOneCaught(t *testing.T) {
+	g := graph.Path(3)
+	d := graph.OrientByID(g)
+	inst := &coloring.Instance{
+		Space:   2,
+		Lists:   [][]int{{0, 1}, {0, 1}, {0, 1}},
+		Defects: [][]int{{1, 0}, {1, 0}, {1, 0}},
+	}
+	env := &Env{W: Workload{Name: "inject-path3"}, G: g, D: d}
+	s := mustSolver(t, "twosweep")
+	buggy := s
+	inner := s.Run
+	buggy.Prepare = func(env *Env, rng *rand.Rand) (*Case, error) {
+		return &Case{G: g, D: d, Inst: inst, Base: []int{0, 1, 2}, Q: 3, P: 2}, nil
+	}
+	buggy.Run = func(c *Case, cfg sim.Config) Output {
+		out := inner(c, cfg)
+		if out.Err == nil {
+			out.Colors = []int{1, 1, 1}
+		}
+		return out
+	}
+	res := RunCell(env, buggy, Options{Seed: 7})
+	if len(res.Failures) == 0 {
+		t.Fatal("off-by-one budget overdraw was not caught")
+	}
+	var budgetCaught bool
+	for _, c := range res.Checks {
+		if strings.Contains(c.Name, "defect-budget") && !c.OK {
+			budgetCaught = true
+			if c.Headroom != -1 {
+				t.Errorf("off-by-one should leave headroom -1, got %v", c)
+			}
+		}
+	}
+	if !budgetCaught {
+		t.Errorf("budget checker did not flag the overdraw; failures: %v", res.Failures)
+	}
+	if err := coloring.ValidateOLDC(d, inst, []int{1, 1, 1}); err == nil {
+		t.Error("validator accepted the overdrawn coloring")
+	}
+}
+
+// TestDriverDivergenceCaught verifies the harness itself: a solver
+// whose output depends on the driver must be flagged.
+func TestDriverDivergenceCaught(t *testing.T) {
+	env := mustMaterialize(t, "ring16-id")
+	s := mustSolver(t, "twosweep")
+	buggy := s
+	inner := s.Run
+	buggy.Run = func(c *Case, cfg sim.Config) Output {
+		out := inner(c, cfg)
+		if cfg.Driver == sim.Workers && len(out.Colors) > 0 {
+			out = Output{Colors: append([]int(nil), out.Colors...), Arcs: out.Arcs,
+				Stats: out.Stats, Palette: out.Palette, Depth: out.Depth, Err: out.Err}
+			out.Stats.Rounds++ // a miscounting driver
+		}
+		return out
+	}
+	res := RunCell(env, buggy, Options{Seed: 7})
+	var caught bool
+	for _, f := range res.Failures {
+		if strings.Contains(f, "diverges from lockstep") {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Errorf("driver divergence not flagged; failures: %v", res.Failures)
+	}
+}
+
+// TestFingerprintSensitivity pins what "byte-identical" covers:
+// colors, arcs, rounds, message count, total and max message bits.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Output{Colors: []int{1, 2}, Stats: sim.Result{Rounds: 3, Messages: 4, TotalBits: 5, MaxMessageBits: 2}}
+	same := Output{Colors: []int{1, 2}, Stats: sim.Result{Rounds: 3, Messages: 4, TotalBits: 5, MaxMessageBits: 2}}
+	if string(Fingerprint(base)) != string(Fingerprint(same)) {
+		t.Fatal("identical outputs fingerprint differently")
+	}
+	mutations := []Output{
+		{Colors: []int{2, 1}, Stats: base.Stats},
+		{Colors: base.Colors, Arcs: [][2]int{{0, 1}}, Stats: base.Stats},
+		{Colors: base.Colors, Stats: sim.Result{Rounds: 4, Messages: 4, TotalBits: 5, MaxMessageBits: 2}},
+		{Colors: base.Colors, Stats: sim.Result{Rounds: 3, Messages: 5, TotalBits: 5, MaxMessageBits: 2}},
+		{Colors: base.Colors, Stats: sim.Result{Rounds: 3, Messages: 4, TotalBits: 6, MaxMessageBits: 2}},
+		{Colors: base.Colors, Stats: sim.Result{Rounds: 3, Messages: 4, TotalBits: 5, MaxMessageBits: 3}},
+	}
+	for i, m := range mutations {
+		if string(Fingerprint(base)) == string(Fingerprint(m)) {
+			t.Errorf("mutation %d not reflected in fingerprint", i)
+		}
+	}
+}
+
+// TestFormatMatrix pins the binary's matrix rendering.
+func TestFormatMatrix(t *testing.T) {
+	results := []CellResult{
+		{Workload: "ring16-id", Solver: "twosweep"},
+		{Workload: "ring16-id", Solver: "nbhood", Skipped: "needs θ"},
+		{Workload: "gnp24-degen", Solver: "twosweep", Failures: []string{"boom"}},
+		{Workload: "gnp24-degen", Solver: "nbhood"},
+	}
+	got := FormatMatrix(results)
+	want := "" +
+		"workload     twosweep  nbhood\n" +
+		"ring16-id    ok        skip  \n" +
+		"gnp24-degen  FAIL      ok    \n"
+	if got != want {
+		t.Errorf("matrix rendering:\n%s\nwant:\n%s", got, want)
+	}
+	sum := Summarize(results)
+	if sum.Passed != 2 || sum.Failed != 1 || sum.Skipped != 1 {
+		t.Errorf("summary %+v, want 2/1/1", sum)
+	}
+}
+
+// -- helpers ------------------------------------------------------------
+
+func mustMaterialize(t *testing.T, name string) *Env {
+	t.Helper()
+	for _, w := range Matrix(true) {
+		if w.Name == name {
+			env, err := Materialize(w, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return env
+		}
+	}
+	t.Fatalf("workload %s not in matrix", name)
+	return nil
+}
+
+func mustSolver(t *testing.T, name string) Solver {
+	t.Helper()
+	for _, s := range Solvers() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("solver %s not registered", name)
+	return Solver{}
+}

@@ -1,0 +1,61 @@
+//go:build conformance
+
+package conformance
+
+import (
+	"testing"
+
+	"listcolor/internal/quality"
+)
+
+// TestHeavyMatrix is the heavy conformance tier: the widened workload
+// matrix (larger sizes, more families and orientations) with fault
+// injection on. Run it with:
+//
+//	go test -tags conformance ./internal/conformance/...
+func TestHeavyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy tier skipped in -short mode")
+	}
+	opt := Options{Seed: 3, Heavy: true, Faults: true}
+	for _, w := range Matrix(true) {
+		env, err := Materialize(w, opt.Seed)
+		if err != nil {
+			t.Fatalf("materialize %s: %v", w.Name, err)
+		}
+		for _, s := range Solvers() {
+			t.Run(w.Name+"/"+s.Name, func(t *testing.T) {
+				res := RunCell(env, s, opt)
+				if res.Skipped != "" {
+					t.Skip(res.Skipped)
+				}
+				for _, f := range res.Failures {
+					t.Error(f)
+				}
+				if t.Failed() {
+					t.Logf("checks:\n%s", quality.FormatChecks(res.Checks))
+				}
+			})
+		}
+	}
+}
+
+// TestHeavyMatrixSeeds reruns a slice of the heavy matrix under
+// several seeds, so the guarantees are exercised on more than one
+// instance draw per cell.
+func TestHeavyMatrixSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy tier skipped in -short mode")
+	}
+	for _, seed := range []int64{11, 12, 13} {
+		results, err := RunMatrix(Options{Seed: seed, WorkloadFilter: "gnp"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			for _, f := range r.Failures {
+				t.Errorf("seed %d %s/%s: %s", seed, r.Workload, r.Solver, f)
+			}
+		}
+	}
+}

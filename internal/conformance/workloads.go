@@ -1,0 +1,41 @@
+package conformance
+
+import "listcolor/internal/workload"
+
+// Matrix returns the workload columns. The light tier (always on) is
+// small enough for every push; the heavy tier (build tag
+// `conformance`, cmd/conform -heavy) widens families, orientations
+// and sizes.
+func Matrix(heavy bool) []Workload {
+	ws := []Workload{
+		// -- light tier -------------------------------------------------
+		{Name: "ring16-id", Family: "ring", Params: workload.Params{N: 16}, Orient: "id", Theta: 2},
+		{Name: "gnp24-degen", Family: "gnp", Params: workload.Params{N: 24, Prob: 0.18}, Orient: "degeneracy"},
+		{Name: "regular24-id", Family: "regular", Params: workload.Params{N: 24, Degree: 4}, Orient: "id"},
+		{Name: "tree21-random", Family: "tree", Params: workload.Params{N: 21, Degree: 2}, Orient: "random"},
+		{Name: "hyperline12-id", Family: "hyperline", Params: workload.Params{N: 12, Degree: 3}, Orient: "id", Theta: 3},
+		{Name: "tiny-gnp8", Family: "gnp", Params: workload.Params{N: 8, Prob: 0.3}, Orient: "random", Tiny: true},
+
+		// -- heavy tier --------------------------------------------------
+		{Name: "grid64-id", Family: "grid", Params: workload.Params{N: 64}, Orient: "id", Heavy: true},
+		{Name: "hypercube32-degen", Family: "hypercube", Params: workload.Params{N: 32}, Orient: "degeneracy", Heavy: true},
+		{Name: "powerlaw48-degen", Family: "powerlaw", Params: workload.Params{N: 48, Degree: 3}, Orient: "degeneracy", Heavy: true},
+		{Name: "udg64-id", Family: "udg", Params: workload.Params{N: 64, Radius: 0.18}, Orient: "id", Theta: 5, Heavy: true},
+		{Name: "linegraph40-id", Family: "linegraph", Params: workload.Params{N: 20, Degree: 4}, Orient: "id", Theta: 2, Heavy: true},
+		{Name: "complete12-random", Family: "complete", Params: workload.Params{N: 12}, Orient: "random", Heavy: true},
+		{Name: "gnp96-id", Family: "gnp", Params: workload.Params{N: 96, Prob: 0.08}, Orient: "id", Heavy: true},
+		{Name: "regular96-degen", Family: "regular", Params: workload.Params{N: 96, Degree: 6}, Orient: "degeneracy", Heavy: true},
+		{Name: "ring200-id", Family: "ring", Params: workload.Params{N: 200}, Orient: "id", Theta: 2, Heavy: true},
+		{Name: "tiny-ring6", Family: "ring", Params: workload.Params{N: 6}, Orient: "id", Theta: 2, Tiny: true, Heavy: true},
+	}
+	if heavy {
+		return ws
+	}
+	light := ws[:0:0]
+	for _, w := range ws {
+		if !w.Heavy {
+			light = append(light, w)
+		}
+	}
+	return light
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzOrientRoundTrip feeds parsed edge lists through every
+// orientation strategy and checks the structural invariants plus two
+// round trips: arcs → OrientArbitraryFrom reproduces the orientation,
+// and relabeling by a permutation and by its inverse restores the
+// original graph.
+func FuzzOrientRoundTrip(f *testing.F) {
+	f.Add("3 3\n0 1\n1 2\n0 2\n", uint64(0))
+	f.Add("5 4\n0 1\n1 2\n2 3\n3 4\n", uint64(1))
+	f.Add("4 0\n", uint64(2))
+	f.Add("1 0\n", uint64(3))
+	f.Add("6 7\n0 1\n0 2\n1 2\n2 3\n3 4\n4 5\n3 5\n", uint64(4))
+	f.Fuzz(func(t *testing.T, input string, mode uint64) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var d *Digraph
+		switch mode % 3 {
+		case 0:
+			d = OrientByID(g)
+		case 1:
+			d = OrientByDegeneracy(g)
+		case 2:
+			d = OrientRandom(g, rand.New(rand.NewSource(int64(mode))))
+		}
+		// Every edge is oriented exactly one way, and Out/In agree.
+		var arcs [][2]int
+		outCount := 0
+		for v := 0; v < d.N(); v++ {
+			for _, u := range d.Out(v) {
+				if !g.HasEdge(v, u) {
+					t.Fatalf("arc %d->%d is not an edge", v, u)
+				}
+				for _, w := range d.Out(u) {
+					if w == v {
+						t.Fatalf("edge %d-%d oriented both ways", v, u)
+					}
+				}
+				arcs = append(arcs, [2]int{v, u})
+			}
+			outCount += d.Outdeg(v)
+			if got := d.Beta(v); got != max(1, d.Outdeg(v)) {
+				t.Fatalf("Beta(%d) = %d with outdeg %d", v, got, d.Outdeg(v))
+			}
+		}
+		if outCount != g.M() {
+			t.Fatalf("%d arcs for %d edges", outCount, g.M())
+		}
+		// Arc round trip.
+		d2, err := OrientArbitraryFrom(g, arcs)
+		if err != nil {
+			t.Fatalf("re-orienting own arcs: %v", err)
+		}
+		for v := 0; v < d.N(); v++ {
+			a, b := d.Out(v), d2.Out(v)
+			if len(a) != len(b) {
+				t.Fatalf("node %d: out-degree changed %d -> %d", v, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("node %d: out set changed", v)
+				}
+			}
+		}
+		// Relabel round trip.
+		perm := rand.New(rand.NewSource(int64(mode) + 1)).Perm(g.N())
+		inv := make([]int, len(perm))
+		for i, p := range perm {
+			inv[p] = i
+		}
+		back := Relabel(Relabel(g, perm), inv)
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("relabel round trip changed shape")
+		}
+		for _, e := range g.Edges() {
+			if !back.HasEdge(e[0], e[1]) {
+				t.Fatalf("relabel round trip lost edge %v", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package sim
+
+import "fmt"
+
+// AllDrivers lists every execution driver in a stable order:
+// Lockstep (the deterministic reference) first, then the concurrent
+// drivers that must reproduce it byte-for-byte. Conformance tests and
+// command-line tools iterate over this slice instead of hard-coding
+// the set, so a new driver is automatically picked up everywhere.
+func AllDrivers() []Driver {
+	return []Driver{Lockstep, Goroutines, Workers}
+}
+
+// String returns the driver's canonical name (the one ParseDriver
+// accepts).
+func (d Driver) String() string {
+	switch d {
+	case Lockstep:
+		return "lockstep"
+	case Goroutines:
+		return "goroutines"
+	case Workers:
+		return "workers"
+	default:
+		return fmt.Sprintf("driver(%d)", int(d))
+	}
+}
+
+// ParseDriver maps a canonical driver name to its Driver value.
+func ParseDriver(name string) (Driver, error) {
+	for _, d := range AllDrivers() {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown driver %q (known: %v)", name, AllDrivers())
+}
+
+// WithDriver returns a copy of the config running under d. It exists
+// so harnesses can sweep one prepared config across AllDrivers
+// without mutating the original.
+func (c Config) WithDriver(d Driver) Config {
+	c.Driver = d
+	return c
+}

@@ -183,6 +183,35 @@ var ErrNotNeighbor = errors.New("sim: message to non-neighbor")
 // terminate within MaxRounds.
 var ErrRoundLimit = errors.New("sim: round limit exceeded")
 
+// ErrNodePanic is returned (wrapped) when a node's Init or Round
+// panics. Protocols are allowed to panic on violated invariants (e.g.
+// a message lost to fault injection); the engine converts that into a
+// deterministic run error — attributed to the smallest panicking node
+// id of the earliest failing round, under every driver — instead of
+// crashing the process.
+var ErrNodePanic = errors.New("sim: node panicked")
+
+// safeInit calls nd.Init, converting a panic into an error.
+func safeInit(nd Node, ctx *Context) (outs []Outgoing, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: node %d in init: %v", ErrNodePanic, ctx.ID, r)
+		}
+	}()
+	return nd.Init(ctx), nil
+}
+
+// safeRound calls nd.Round, converting a panic into an error.
+func safeRound(nd Node, ctx *Context, round int, inbox []Message) (outs []Outgoing, done bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: node %d in round %d: %v", ErrNodePanic, ctx.ID, round, r)
+		}
+	}()
+	outs, done = nd.Round(ctx, round, inbox)
+	return outs, done, nil
+}
+
 // Network is the communication topology: an undirected graph plus an
 // optional edge orientation exposed to the nodes (communication is
 // always bidirectional, as in the paper's model).
@@ -312,7 +341,11 @@ func runLockstep(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	}
 	rt := newRouter(nw, cfg)
 	for v := 0; v < n; v++ {
-		if err := rt.route(v, nodes[v].Init(ctxs[v])); err != nil {
+		outs, err := safeInit(nodes[v], ctxs[v])
+		if err != nil {
+			return rt.res, err
+		}
+		if err := rt.route(v, outs); err != nil {
 			return rt.res, fmt.Errorf("init of node %d: %w", v, err)
 		}
 	}
@@ -331,7 +364,10 @@ func runLockstep(nw *Network, nodes []Node, cfg Config) (Result, error) {
 				continue
 			}
 			active++
-			outs, fin := nodes[v].Round(ctxs[v], round, inboxes[v])
+			outs, fin, err := safeRound(nodes[v], ctxs[v], round, inboxes[v])
+			if err != nil {
+				return rt.res, err
+			}
 			if err := rt.route(v, outs); err != nil {
 				return rt.res, fmt.Errorf("round %d, node %d: %w", round, v, err)
 			}
@@ -365,6 +401,7 @@ func runGoroutines(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	type roundOut struct {
 		outs []Outgoing
 		done bool
+		err  error
 	}
 	ins := make([]chan roundIn, n)
 	outs := make([]chan roundOut, n)
@@ -379,12 +416,15 @@ func runGoroutines(nw *Network, nodes []Node, cfg Config) (Result, error) {
 		go func(v int) {
 			defer wg.Done()
 			ctx := nw.context(v)
-			init := nodes[v].Init(ctx)
-			outs[v] <- roundOut{outs: init}
+			init, err := safeInit(nodes[v], ctx)
+			outs[v] <- roundOut{outs: init, err: err}
+			if err != nil {
+				return
+			}
 			for ri := range ins[v] {
-				o, d := nodes[v].Round(ctx, ri.round, ri.inbox)
-				outs[v] <- roundOut{outs: o, done: d}
-				if d {
+				o, d, err := safeRound(nodes[v], ctx, ri.round, ri.inbox)
+				outs[v] <- roundOut{outs: o, done: d, err: err}
+				if d || err != nil {
 					return
 				}
 			}
@@ -408,6 +448,10 @@ func runGoroutines(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	rt := newRouter(nw, cfg)
 	for v := 0; v < n; v++ {
 		ro := <-outs[v]
+		if ro.err != nil {
+			alive[v] = false // its goroutine has already returned
+			return rt.res, ro.err
+		}
 		if err := rt.route(v, ro.outs); err != nil {
 			return rt.res, fmt.Errorf("init of node %d: %w", v, err)
 		}
@@ -434,6 +478,10 @@ func runGoroutines(nw *Network, nodes []Node, cfg Config) (Result, error) {
 				continue
 			}
 			ro := <-outs[v]
+			if ro.err != nil {
+				alive[v] = false // its goroutine has already returned
+				return rt.res, ro.err
+			}
 			if err := rt.route(v, ro.outs); err != nil {
 				return rt.res, fmt.Errorf("round %d, node %d: %w", round, v, err)
 			}

@@ -19,7 +19,11 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	}
 	rt := newRouter(nw, cfg)
 	for v := 0; v < n; v++ {
-		if err := rt.route(v, nodes[v].Init(ctxs[v])); err != nil {
+		outs, err := safeInit(nodes[v], ctxs[v])
+		if err != nil {
+			return rt.res, err
+		}
+		if err := rt.route(v, outs); err != nil {
 			return rt.res, fmt.Errorf("init of node %d: %w", v, err)
 		}
 	}
@@ -33,6 +37,7 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	done := make([]bool, n)
 	outs := make([][]Outgoing, n)
 	fins := make([]bool, n)
+	errs := make([]error, n)
 	remaining := n
 	for round := 1; remaining > 0; round++ {
 		if round > cfg.MaxRounds {
@@ -64,13 +69,17 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 			go func(ids []int) {
 				defer wg.Done()
 				for _, v := range ids {
-					outs[v], fins[v] = nodes[v].Round(ctxs[v], round, inboxes[v])
+					outs[v], fins[v], errs[v] = safeRound(nodes[v], ctxs[v], round, inboxes[v])
 				}
 			}(active[lo:hi])
 		}
 		wg.Wait()
-		// Route sequentially in id order for determinism.
+		// Route sequentially in id order for determinism; a panic is
+		// surfaced for the smallest failing id, like the other drivers.
 		for _, v := range active {
+			if errs[v] != nil {
+				return rt.res, errs[v]
+			}
 			if err := rt.route(v, outs[v]); err != nil {
 				return rt.res, fmt.Errorf("round %d, node %d: %w", round, v, err)
 			}

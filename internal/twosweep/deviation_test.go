@@ -1,0 +1,95 @@
+package twosweep
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+	"listcolor/internal/sim"
+)
+
+// Regression tests for the DESIGN.md deviation "Zero-out-degree
+// nodes": CheckSlack skips nodes with out-degree 0 (they trivially
+// succeed in both sweep phases), because β_v = max(1, outdeg) would
+// otherwise reject recursion leaves with tiny lists.
+
+// zeroOutdegInstance is the oriented 3-path (OrientByID: arcs 1→0,
+// 2→1). Node 0 has out-degree 0 and carries a singleton zero-defect
+// list that the raw Eq. 2 inequality with β_0 = 1 would reject
+// (Σ(d+1) = 1 which is not > p = 2). Nodes 1 and 2 satisfy the strict
+// condition.
+func zeroOutdegInstance() (*graph.Digraph, *coloring.Instance) {
+	g := graph.Path(3)
+	d := graph.OrientByID(g)
+	return d, &coloring.Instance{
+		Space:   2,
+		Lists:   [][]int{{0}, {0, 1}, {0, 1}},
+		Defects: [][]int{{0}, {1, 0}, {1, 0}},
+	}
+}
+
+func TestCheckSlackSkipsZeroOutdegree(t *testing.T) {
+	d, inst := zeroOutdegInstance()
+	if err := CheckSlack(d, inst, 2, 0); err != nil {
+		t.Fatalf("slack check rejected a zero-out-degree node with a tiny list: %v", err)
+	}
+}
+
+func TestSolveSucceedsWithZeroOutdegreeTinyList(t *testing.T) {
+	d, inst := zeroOutdegInstance()
+	res, err := Solve(d, inst, []int{0, 1, 2}, 3, 2, sim.Config{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := coloring.ValidateOLDC(d, inst, res.Colors); err != nil {
+		t.Fatalf("output invalid: %v", err)
+	}
+	if res.Colors[0] != 0 {
+		t.Errorf("node 0 forced to its only color 0, got %d", res.Colors[0])
+	}
+}
+
+// TestCheckSlackStillStrictForPositiveOutdegree pins that the skip is
+// ONLY for out-degree 0: a positive-out-degree node with the same
+// insufficient list must still be rejected, and the error must name
+// it.
+func TestCheckSlackStillStrictForPositiveOutdegree(t *testing.T) {
+	g := graph.Path(3)
+	d := graph.OrientByID(g)
+	inst := &coloring.Instance{
+		Space:   2,
+		Lists:   [][]int{{0, 1}, {0}, {0, 1}},
+		Defects: [][]int{{1, 0}, {0}, {1, 0}},
+	}
+	err := CheckSlack(d, inst, 2, 0)
+	if err == nil {
+		t.Fatal("insufficient slack at a positive-out-degree node was accepted")
+	}
+	if !errors.Is(err, ErrSlack) {
+		t.Errorf("err = %v, want ErrSlack", err)
+	}
+	if !strings.Contains(err.Error(), "node 1") {
+		t.Errorf("error does not name the violating node 1: %v", err)
+	}
+}
+
+// TestSolveAllZeroOutdegree covers the degenerate extreme: an edgeless
+// graph where every node has out-degree 0 and a singleton list.
+func TestSolveAllZeroOutdegree(t *testing.T) {
+	g := graph.New(4)
+	d := graph.OrientByID(g)
+	inst := &coloring.Instance{
+		Space:   1,
+		Lists:   [][]int{{0}, {0}, {0}, {0}},
+		Defects: [][]int{{0}, {0}, {0}, {0}},
+	}
+	res, err := Solve(d, inst, []int{0, 0, 0, 0}, 1, 2, sim.Config{})
+	if err != nil {
+		t.Fatalf("Solve on edgeless graph: %v", err)
+	}
+	if err := coloring.ValidateOLDC(d, inst, res.Colors); err != nil {
+		t.Fatalf("output invalid: %v", err)
+	}
+}
