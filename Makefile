@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz tables cover conform conformance clean
+.PHONY: all build vet test race bench bench-sim fuzz tables cover conform conformance clean
 
 all: build vet test
 
@@ -22,11 +22,16 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x .
 
+# Engine round-throughput report (docs/TESTING.md §BENCH_sim.json).
+bench-sim:
+	$(GO) run ./cmd/benchtab -sim > BENCH_sim.json
+
 fuzz:
 	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 15s ./internal/graph
 	$(GO) test -fuzz FuzzOrientRoundTrip -fuzztime 15s ./internal/graph
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 15s ./internal/coloring
 	$(GO) test -fuzz FuzzSolve -fuzztime 30s ./internal/twosweep
+	$(GO) test -fuzz FuzzRouteEquivalence -fuzztime 15s ./internal/sim
 
 # Conformance matrix: CLI summary / heavy go-test tier (docs/TESTING.md).
 conform:

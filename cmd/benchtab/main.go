@@ -8,13 +8,16 @@
 //	benchtab -run E4         # one experiment
 //	benchtab -quick          # smaller sweeps
 //	benchtab -markdown       # markdown output (for EXPERIMENTS.md)
+//	benchtab -sim            # engine round-throughput JSON (BENCH_sim.json)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"listcolor/internal/bench"
 )
@@ -32,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "workload seed")
 		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 		outPath  = fs.String("o", "", "write output to a file instead of stdout")
+		simBench = fs.Bool("sim", false, "measure simulator round throughput and emit BENCH_sim.json content")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -50,6 +54,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 		out = f
+	}
+
+	if *simBench {
+		if err := runSimBench(out, *quick); err != nil {
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
+		}
+		return 0
 	}
 
 	opt := bench.Options{Seed: *seed, Quick: *quick}
@@ -75,4 +87,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// runSimBench measures engine round throughput (bench.RunSimBench) and
+// writes the BENCH_sim.json document: current numbers next to the
+// recorded pre-arena baseline, so the speedup is visible in one file.
+func runSimBench(out io.Writer, quick bool) error {
+	cur, err := bench.RunSimBench(quick)
+	if err != nil {
+		return err
+	}
+	rep := bench.SimBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Note: "Engine round-throughput on the chatter protocol (broadcast 16-bit payload per round). " +
+			"baseline = pre-arena router (per-round inbox allocation + per-inbox sort), recorded once; " +
+			"current = this build. Refresh with `make bench-sim`.",
+		Baseline: bench.SimBenchBaseline(),
+		Current:  cur,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

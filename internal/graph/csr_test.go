@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDegreesMatchesDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := GNP(40, 0.2, rng)
+	deg := g.Degrees()
+	if len(deg) != g.N() {
+		t.Fatalf("Degrees length %d, want %d", len(deg), g.N())
+	}
+	sum := 0
+	for v := 0; v < g.N(); v++ {
+		if deg[v] != g.Degree(v) {
+			t.Errorf("Degrees()[%d] = %d, Degree = %d", v, deg[v], g.Degree(v))
+		}
+		sum += deg[v]
+	}
+	if sum != 2*g.M() {
+		t.Errorf("degree sum %d, want 2m = %d", sum, 2*g.M())
+	}
+	// The slice is a copy: mutating it must not corrupt the graph.
+	if g.N() > 0 {
+		deg[0] = -1
+		if g.Degree(0) == -1 {
+			t.Error("Degrees returned an aliased slice")
+		}
+	}
+}
+
+func TestCSRMatchesNeighbors(t *testing.T) {
+	graphs := map[string]*Graph{
+		"empty":    New(0),
+		"isolated": New(5),
+		"ring":     Ring(9),
+		"complete": Complete(6),
+		"gnp":      GNP(30, 0.15, rand.New(rand.NewSource(3))),
+	}
+	for name, g := range graphs {
+		rowPtr, col := g.CSR()
+		if len(rowPtr) != g.N()+1 {
+			t.Fatalf("%s: rowPtr length %d, want %d", name, len(rowPtr), g.N()+1)
+		}
+		if rowPtr[g.N()] != 2*g.M() || len(col) != 2*g.M() {
+			t.Fatalf("%s: rowPtr[n]=%d len(col)=%d, want 2m=%d", name, rowPtr[g.N()], len(col), 2*g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			row := col[rowPtr[v]:rowPtr[v+1]]
+			nbrs := g.Neighbors(v)
+			if len(row) != len(nbrs) {
+				t.Fatalf("%s: node %d row length %d, want %d", name, v, len(row), len(nbrs))
+			}
+			for i := range row {
+				if row[i] != nbrs[i] {
+					t.Errorf("%s: node %d csr row %v != neighbors %v", name, v, row, nbrs)
+					break
+				}
+			}
+		}
+	}
+}

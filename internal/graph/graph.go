@@ -149,6 +149,35 @@ func (g *Graph) CopyNeighbors(v int) []int {
 	return out
 }
 
+// Degrees returns the degree sequence deg[v] = |N(v)| as a fresh
+// slice. Consumers that size per-node buffers from the topology (the
+// simulator's inbox arena, batch schedulers) use it instead of calling
+// Degree in a loop.
+func (g *Graph) Degrees() []int {
+	deg := make([]int, g.n)
+	for v := range g.adj {
+		deg[v] = len(g.adj[v])
+	}
+	return deg
+}
+
+// CSR returns the graph in compressed-sparse-row form: col holds the
+// sorted adjacency lists concatenated in vertex order, and rowPtr has
+// n+1 entries with v's neighbors at col[rowPtr[v]:rowPtr[v+1]]. The
+// returned slices are fresh copies owned by the caller. rowPtr[n] is
+// 2·M, the total directed-edge (delivery-slot) count.
+func (g *Graph) CSR() (rowPtr, col []int) {
+	g.Normalize()
+	rowPtr = make([]int, g.n+1)
+	col = make([]int, 0, 2*g.edges)
+	for v := 0; v < g.n; v++ {
+		rowPtr[v] = len(col)
+		col = append(col, g.adj[v]...)
+	}
+	rowPtr[g.n] = len(col)
+	return rowPtr, col
+}
+
 // Edges returns all edges as pairs (u, v) with u < v, sorted
 // lexicographically.
 func (g *Graph) Edges() [][2]int {

@@ -1,0 +1,244 @@
+package sim
+
+// Regression tests for the CONGEST accounting semantics (see router):
+// the bandwidth cap and MaxMessageBits are per *sent* message — a
+// broadcast is one send, and dropping its deliveries does not un-send
+// it — while Messages and TotalBits are per *edge delivery* and skip
+// dropped deliveries. Plus the Result merge algebra: per-round
+// RoundStats Seq-fold back to the whole-run Result, vertex-disjoint
+// runs Par-merge to the union run, and Seq/Par satisfy their monoid
+// laws on arbitrary values.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"listcolor/internal/graph"
+)
+
+// loudCenter broadcasts one payload from node 0 in Init and stops; all
+// other nodes stay silent.
+type loudCenter struct{ p Payload }
+
+func (l loudCenter) Init(ctx *Context) []Outgoing {
+	if ctx.ID != 0 {
+		return nil
+	}
+	return []Outgoing{{To: Broadcast, Payload: l.p}}
+}
+
+func (l loudCenter) Round(ctx *Context, round int, inbox []Message) ([]Outgoing, bool) {
+	return nil, true
+}
+
+// starNodes builds a K_{1,k} star (center 0) with loudCenter nodes
+// broadcasting p.
+func starNodes(k int, p Payload) (*Network, []Node) {
+	g := graph.New(k + 1)
+	for v := 1; v <= k; v++ {
+		g.MustAddEdge(0, v)
+	}
+	nodes := make([]Node, k+1)
+	for v := range nodes {
+		nodes[v] = loudCenter{p: p}
+	}
+	return NewNetwork(g), nodes
+}
+
+func TestBroadcastDeliveryAccounting(t *testing.T) {
+	// Without drops: one broadcast of b bits to k neighbors is one send
+	// (MaxMessageBits = b) billed as k edge-deliveries (Messages = k,
+	// TotalBits = k·b).
+	k := 5
+	p := IntPayload{Value: 3, Domain: 1 << 10}
+	b := p.SizeBits() // 10
+	nw, nodes := starNodes(k, p)
+	res, err := Run(nw, nodes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != k || res.TotalBits != k*b || res.MaxMessageBits != b {
+		t.Errorf("clean broadcast: got %+v, want Messages=%d TotalBits=%d MaxMessageBits=%d", res, k, k*b, b)
+	}
+}
+
+func TestFullyDroppedBroadcastConsumesSend(t *testing.T) {
+	// Dropping every delivery of the broadcast removes the delivery
+	// bits but NOT the send: MaxMessageBits still records the message.
+	// (The pre-arena router only updated MaxMessageBits per delivery,
+	// so a fully-dropped broadcast vanished from the statistic.)
+	p := IntPayload{Value: 3, Domain: 1 << 10}
+	for _, d := range AllDrivers() {
+		nw, nodes := starNodes(4, p)
+		res, err := Run(nw, nodes, Config{
+			Driver:      d,
+			DropMessage: func(round, from, to int) bool { return from == 0 },
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if res.Messages != 0 || res.TotalBits != 0 {
+			t.Errorf("%v: dropped deliveries billed: %+v", d, res)
+		}
+		if res.MaxMessageBits != p.SizeBits() {
+			t.Errorf("%v: MaxMessageBits = %d, want %d (send consumed despite drops)", d, res.MaxMessageBits, p.SizeBits())
+		}
+	}
+}
+
+func TestPartiallyDroppedBroadcastBillsSurvivors(t *testing.T) {
+	p := IntPayload{Value: 3, Domain: 1 << 10}
+	b := p.SizeBits()
+	nw, nodes := starNodes(4, p)
+	res, err := Run(nw, nodes, Config{
+		DropMessage: func(round, from, to int) bool { return to%2 == 1 }, // drops 2 of 4 leaves
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 2 || res.TotalBits != 2*b || res.MaxMessageBits != b {
+		t.Errorf("partial drop: got %+v, want Messages=2 TotalBits=%d MaxMessageBits=%d", res, 2*b, b)
+	}
+}
+
+func TestCapAppliesToFullyDroppedMessage(t *testing.T) {
+	// The CONGEST cap is checked at send time: fault injection cannot
+	// hide an oversized message.
+	p := IntsPayload{Values: make([]int, 99), Domain: 4} // ≫ 16 bits
+	nw, nodes := starNodes(3, p)
+	_, err := Run(nw, nodes, Config{
+		BandwidthBits: 16,
+		DropMessage:   func(round, from, to int) bool { return true },
+	})
+	if err == nil {
+		t.Fatal("oversized fully-dropped broadcast passed the cap")
+	}
+}
+
+// varySender broadcasts a payload whose size varies with the round, so
+// per-round MaxBits actually differs between rounds. Init sends
+// nothing, which keeps every send inside some RoundStats window.
+type varySender struct{ rounds int }
+
+func (s varySender) Init(ctx *Context) []Outgoing { return nil }
+
+func (s varySender) Round(ctx *Context, round int, inbox []Message) ([]Outgoing, bool) {
+	if round > s.rounds {
+		return nil, true
+	}
+	// Size grows then shrinks: rounds 1..k have distinct max sizes.
+	n := round % 7
+	return []Outgoing{{To: Broadcast, Payload: IntsPayload{Values: make([]int, n), Domain: 4, MaxLen: 8}}}, false
+}
+
+func TestRoundStatsSeqFoldReproducesResult(t *testing.T) {
+	// Folding the per-round RoundStats with Seq reproduces the
+	// whole-run Result exactly — the merge algebra and the per-round
+	// accounting agree.
+	for _, d := range AllDrivers() {
+		g := graph.GNP(17, 0.3, rand.New(rand.NewSource(42)))
+		nodes := make([]Node, g.N())
+		for v := range nodes {
+			nodes[v] = varySender{rounds: 9}
+		}
+		var folded Result
+		res, err := Run(NewNetwork(g), nodes, Config{
+			Driver: d,
+			OnRound: func(rs RoundStats) {
+				folded = Seq(folded, Result{
+					Rounds:         1,
+					Messages:       rs.Messages,
+					TotalBits:      rs.Bits,
+					MaxMessageBits: rs.MaxBits,
+				})
+			},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if folded != res {
+			t.Errorf("%v: Seq-folded per-round stats %+v != whole-run %+v", d, folded, res)
+		}
+	}
+}
+
+func TestParMergesDisjointComponents(t *testing.T) {
+	// Running two vertex-disjoint components in one network must yield
+	// exactly the Par-merge of running them separately, in either
+	// merge order (the components' message sizes are id-independent).
+	a, b := graph.Ring(5), graph.Ring(8)
+	mk := func(g *graph.Graph, hops int) ([]Node, Result) {
+		nodes, _ := newFloodMaxNodes(g.N(), hops)
+		res, err := Run(NewNetwork(g), nodes, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nodes, res
+	}
+	_, resA := mk(a, 3)
+	_, resB := mk(b, 6)
+
+	union := graph.Union(a, b)
+	nodes := make([]Node, union.N())
+	sink := make([]int, union.N())
+	for v := 0; v < union.N(); v++ {
+		hops := 3
+		if v >= a.N() {
+			hops = 6
+		}
+		nodes[v] = &floodMax{hops: hops, out: &sink[v]}
+	}
+	resU, err := Run(NewNetwork(union), nodes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Par(resA, resB); got != resU {
+		t.Errorf("Par(A,B) = %+v, union run = %+v", got, resU)
+	}
+	if got := Par(resB, resA); got != resU {
+		t.Errorf("Par(B,A) = %+v, union run = %+v", got, resU)
+	}
+}
+
+func TestMergeAlgebra(t *testing.T) {
+	abs := func(r Result) Result {
+		// Keep values non-negative so + and max interact sanely.
+		n := func(x int) int {
+			if x < 0 {
+				return -x
+			}
+			return x
+		}
+		return Result{n(r.Rounds), n(r.Messages), n(r.TotalBits), n(r.MaxMessageBits)}
+	}
+	assoc := func(x, y, z Result) bool {
+		x, y, z = abs(x), abs(y), abs(z)
+		return Seq(Seq(x, y), z) == Seq(x, Seq(y, z)) &&
+			Par(Par(x, y), z) == Par(x, Par(y, z))
+	}
+	comm := func(x, y Result) bool {
+		x, y = abs(x), abs(y)
+		return Par(x, y) == Par(y, x) &&
+			Seq(x, y) == Seq(y, x) // Seq is commutative on the stats level too
+	}
+	ident := func(x Result) bool {
+		x = abs(x)
+		return Seq(x, Result{}) == x && Seq(Result{}, x) == x &&
+			Par(x, Result{}) == x && Par(Result{}, x) == x
+	}
+	sharedFields := func(x, y Result) bool {
+		x, y = abs(x), abs(y)
+		s, p := Seq(x, y), Par(x, y)
+		// The two merge rules may only differ in the round count.
+		return s.Messages == p.Messages && s.TotalBits == p.TotalBits &&
+			s.MaxMessageBits == p.MaxMessageBits
+	}
+	for name, f := range map[string]any{
+		"assoc": assoc, "comm": comm, "ident": ident, "shared": sharedFields,
+	} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package sim_test
+
+// Round-throughput microbenchmarks for the engine's routing hot path.
+// One benchmark op is one protocol round: a single Run executes b.N
+// rounds of the chatter protocol (every node broadcasts a fixed-size
+// payload each round), so allocs/op is per-round allocation with the
+// run's one-time setup (contexts, inbox arena) amortized away. The
+// steady-state routing loop is allocation-free: the ring/lockstep
+// benchmark must report 0 allocs/op.
+//
+// The workloads and protocol are shared with `cmd/benchtab -sim`
+// (internal/bench/simbench.go), which renders the same measurement as
+// BENCH_sim.json.
+
+import (
+	"testing"
+
+	"listcolor/internal/bench"
+	"listcolor/internal/graph"
+	"listcolor/internal/sim"
+)
+
+func benchRoundThroughput(b *testing.B, g *graph.Graph, d sim.Driver) {
+	nw := sim.NewNetwork(g)
+	nodes := bench.ChatterNodes(g.N(), b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := sim.Run(nw, nodes, sim.Config{Driver: d})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Rounds != b.N {
+		b.Fatalf("res.Rounds = %d, want b.N = %d", res.Rounds, b.N)
+	}
+}
+
+func BenchmarkRoundThroughput(b *testing.B) {
+	for _, w := range bench.SimWorkloads(false) {
+		g := w.Build()
+		for _, d := range sim.AllDrivers() {
+			d := d
+			b.Run(w.Name+"/"+d.String(), func(b *testing.B) {
+				benchRoundThroughput(b, g, d)
+			})
+		}
+	}
+}
+
+// poolChatter is the list-message variant: every round each node rents
+// a Values buffer from a sim.BufferPool, fills it afresh, broadcasts
+// it as an *IntsPayload, and recycles the buffer sent two rounds
+// earlier (its delivery round is over, and no receiver retains it).
+// The two payload boxes are pre-allocated and rotated the same way, so
+// steady-state rounds are allocation-free despite building a new list
+// message each time.
+type poolChatter struct {
+	rounds  int
+	pool    *sim.BufferPool
+	pending [2]*sim.IntsPayload // payloads awaiting recycling, by round parity
+	outbox  []sim.Outgoing
+	sink    int
+}
+
+func (c *poolChatter) Init(ctx *sim.Context) []sim.Outgoing {
+	c.outbox = []sim.Outgoing{{To: sim.Broadcast}}
+	c.pending[0] = &sim.IntsPayload{Domain: 1 << 16, MaxLen: 4}
+	c.pending[1] = &sim.IntsPayload{Domain: 1 << 16, MaxLen: 4}
+	return c.send(0)
+}
+
+func (c *poolChatter) send(round int) []sim.Outgoing {
+	p := c.pending[round%2]
+	if p.Values != nil {
+		c.pool.Put(p.Values)
+	}
+	buf := c.pool.Get(4)
+	for i := range buf {
+		buf[i] = (round + i) % (1 << 16)
+	}
+	p.Values = buf
+	c.outbox[0].Payload = p
+	return c.outbox
+}
+
+func (c *poolChatter) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]sim.Outgoing, bool) {
+	for i := range inbox {
+		c.sink += inbox[i].From
+	}
+	if round >= c.rounds {
+		return nil, true
+	}
+	return c.send(round), false
+}
+
+func BenchmarkRoundThroughputPooledLists(b *testing.B) {
+	g := graph.Ring(256)
+	nw := sim.NewNetwork(g)
+	pool := &sim.BufferPool{}
+	nodes := make([]sim.Node, g.N())
+	for v := range nodes {
+		nodes[v] = &poolChatter{rounds: b.N, pool: pool}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := sim.Run(nw, nodes, sim.Config{})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Rounds != b.N {
+		b.Fatalf("res.Rounds = %d, want b.N = %d", res.Rounds, b.N)
+	}
+}

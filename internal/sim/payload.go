@@ -1,6 +1,10 @@
 package sim
 
-import "listcolor/internal/logstar"
+import (
+	"sync"
+
+	"listcolor/internal/logstar"
+)
 
 // BitsFor returns the number of bits needed to encode a value drawn
 // from a domain of the given size: ⌈log₂(domain)⌉, and at least 1 so
@@ -45,6 +49,58 @@ func (p IntsPayload) SizeBits() int {
 }
 
 var _ Payload = IntsPayload{}
+
+// BufferPool recycles []int scratch buffers for payload construction
+// (typically IntsPayload.Values), so protocols that assemble a fresh
+// list message every round can run allocation-free in steady state.
+// The zero value is ready to use and safe for concurrent use by all
+// drivers.
+//
+// Ownership contract: the engine never copies or recycles payloads —
+// a delivered Payload is exactly the sender's object, and receivers
+// are allowed to retain it. A sender may therefore Put a buffer back
+// only when its protocol guarantees no receiver still references it:
+// the earliest safe point is the round after the message was
+// delivered (send in round r, delivery in r+1, recycle in r+2), and
+// only for message types whose receivers do not retain Values across
+// rounds.
+// BufferPool is a plain freelist rather than a sync.Pool: sync.Pool's
+// Put boxes the slice header on every call, which would put one
+// allocation per recycled payload back on the hot path the pool exists
+// to clear.
+type BufferPool struct {
+	mu   sync.Mutex
+	free [][]int
+}
+
+// Get returns a length-n buffer, reusing a pooled allocation when one
+// with sufficient capacity is available. Contents are unspecified.
+func (bp *BufferPool) Get(n int) []int {
+	bp.mu.Lock()
+	for i := len(bp.free) - 1; i >= 0; i-- {
+		if buf := bp.free[i]; cap(buf) >= n {
+			last := len(bp.free) - 1
+			bp.free[i] = bp.free[last]
+			bp.free[last] = nil
+			bp.free = bp.free[:last]
+			bp.mu.Unlock()
+			return buf[:n]
+		}
+	}
+	bp.mu.Unlock()
+	return make([]int, n)
+}
+
+// Put returns a buffer to the pool. The caller must not use buf (or
+// any payload still referencing it) afterwards.
+func (bp *BufferPool) Put(buf []int) {
+	if cap(buf) == 0 {
+		return
+	}
+	bp.mu.Lock()
+	bp.free = append(bp.free, buf)
+	bp.mu.Unlock()
+}
 
 // PairPayload carries two integers from (possibly different) domains,
 // e.g. (initial color, chosen color-space index).

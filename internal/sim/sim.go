@@ -22,7 +22,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"listcolor/internal/graph"
@@ -58,6 +57,12 @@ type Outgoing struct {
 // round r+1 and whether the node has terminated (output fixed, no
 // further sends). Messages returned together with done=true are still
 // delivered.
+//
+// The inbox slice is owned by the engine's reusable delivery arena and
+// is valid only for the duration of the Round call: a node that needs
+// a Message (or its From field) later must copy it. Payload values
+// themselves are sender-created and never recycled by the engine, so
+// retaining a received Payload is safe.
 type Node interface {
 	Init(ctx *Context) []Outgoing
 	Round(ctx *Context, round int, inbox []Message) (outbox []Outgoing, done bool)
@@ -118,12 +123,18 @@ type Config struct {
 // DefaultMaxRounds is the round limit used when Config.MaxRounds is 0.
 const DefaultMaxRounds = 1 << 22
 
-// RoundStats describes one completed round.
+// RoundStats describes one completed round. Messages, Bits and MaxBits
+// cover the sends routed during that round (delivered in the next
+// round); dropped deliveries are excluded from Messages and Bits but a
+// dropped message still counts toward MaxBits, mirroring Result's
+// accounting.
 type RoundStats struct {
 	Round       int
 	ActiveNodes int
 	Messages    int
 	Bits        int
+	// MaxBits is the largest single message sent this round.
+	MaxBits int
 }
 
 // Result aggregates a completed run.
@@ -134,41 +145,40 @@ type Result struct {
 	MaxMessageBits int // largest single message
 }
 
+// merge combines two Results: messages and bits always add, the max
+// message size is always the larger of the two, and the round counts
+// combine by the given rule. Seq and Par are the only two sound rules
+// — both flow through this one helper so the shared fields cannot
+// drift apart.
+func merge(a, b Result, rounds int) Result {
+	return Result{
+		Rounds:         rounds,
+		Messages:       a.Messages + b.Messages,
+		TotalBits:      a.TotalBits + b.TotalBits,
+		MaxMessageBits: maxInt(a.MaxMessageBits, b.MaxMessageBits),
+	}
+}
+
+func maxInt(a, b int) int {
+	if b > a {
+		return b
+	}
+	return a
+}
+
 // Seq returns the statistics of running a and then b sequentially:
 // rounds, messages and bits add; the max message size is the larger of
 // the two. The recursive algorithms use it to charge sub-protocol
 // costs exactly as the paper's reductions do.
 func Seq(a, b Result) Result {
-	max := a.MaxMessageBits
-	if b.MaxMessageBits > max {
-		max = b.MaxMessageBits
-	}
-	return Result{
-		Rounds:         a.Rounds + b.Rounds,
-		Messages:       a.Messages + b.Messages,
-		TotalBits:      a.TotalBits + b.TotalBits,
-		MaxMessageBits: max,
-	}
+	return merge(a, b, a.Rounds+b.Rounds)
 }
 
 // Par returns the statistics of running a and b in parallel on
 // vertex-disjoint parts of the network: rounds take the max, messages
 // and bits add.
 func Par(a, b Result) Result {
-	rounds := a.Rounds
-	if b.Rounds > rounds {
-		rounds = b.Rounds
-	}
-	max := a.MaxMessageBits
-	if b.MaxMessageBits > max {
-		max = b.MaxMessageBits
-	}
-	return Result{
-		Rounds:         rounds,
-		Messages:       a.Messages + b.Messages,
-		TotalBits:      a.TotalBits + b.TotalBits,
-		MaxMessageBits: max,
-	}
+	return merge(a, b, maxInt(a.Rounds, b.Rounds))
 }
 
 // ErrBandwidth is returned (wrapped) when a message exceeds the
@@ -276,24 +286,70 @@ func Run(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	}
 }
 
-// router collects each round's outgoing messages and produces the next
-// round's inboxes, accounting bits and enforcing caps.
+// router collects each round's outgoing messages into a double-buffered
+// inbox arena and produces the next round's inboxes, accounting bits
+// and enforcing caps. Steady-state routing performs no allocation: each
+// node's inbox is a fixed-capacity slot carved out of one flat
+// []Message sized by the graph's degree sequence (CSR layout), and the
+// two arenas are swapped each round instead of reallocated. A protocol
+// that sends more than one message per edge per round overflows its
+// receiver's slot; the full slice expressions below make that append
+// promote the single inbox to its own heap slice (kept, and reused at
+// its grown capacity) rather than clobber the next node's slots.
+//
+// Delivery order guarantee: inboxes are filled in ascending sender id
+// because every driver routes outboxes in id order, and a sender's own
+// messages stay in send order. That is exactly the ordering the old
+// per-inbox stable sort produced, so no sorting happens anywhere.
 type router struct {
-	nw      *Network
-	cfg     Config
-	inboxes [][]Message
-	res     Result
-	round   int // the round currently being routed (0 = init sends)
+	nw  *Network
+	cfg Config
+	res Result
+	// cur holds the inboxes the drivers are consuming this round; next
+	// is the arena route fills for the following round. flush swaps
+	// them, so an inbox handed to a node is valid for exactly one
+	// Round call.
+	cur, next [][]Message
+	round     int // the round currently being routed (0 = init sends)
+	roundMax  int // largest message sent while routing this round
 }
 
 func newRouter(nw *Network, cfg Config) *router {
-	return &router{nw: nw, cfg: cfg, inboxes: make([][]Message, nw.N())}
+	return &router{nw: nw, cfg: cfg, cur: newInboxArena(nw.g), next: newInboxArena(nw.g)}
+}
+
+// newInboxArena carves one flat message buffer into per-node inboxes of
+// capacity deg(v) — the exact per-round inbound slot count of the
+// paper's one-message-per-edge regime.
+func newInboxArena(g *graph.Graph) [][]Message {
+	deg := g.Degrees()
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	flat := make([]Message, total)
+	boxes := make([][]Message, len(deg))
+	off := 0
+	for v, d := range deg {
+		boxes[v] = flat[off:off : off+d]
+		off += d
+	}
+	return boxes
 }
 
 // route ingests the outbox of node v. It returns an error on protocol
 // violations (non-neighbor target, bandwidth overflow).
+//
+// CONGEST accounting semantics: the bandwidth cap and the
+// MaxMessageBits statistic are properties of the *sent* message — a
+// broadcast is one sent message, and fault injection cannot hide an
+// oversized send (dropped messages consume the send). Messages and
+// TotalBits are properties of *edge deliveries* — a broadcast is
+// billed once per receiving neighbor, and a dropped delivery is not
+// billed.
 func (r *router) route(v int, outs []Outgoing) error {
-	for _, o := range outs {
+	for i := range outs {
+		o := &outs[i]
 		bits := 0
 		if o.Payload != nil {
 			bits = o.Payload.SizeBits()
@@ -301,36 +357,48 @@ func (r *router) route(v int, outs []Outgoing) error {
 		if r.cfg.BandwidthBits > 0 && bits > r.cfg.BandwidthBits {
 			return fmt.Errorf("%w: node %d sent %d bits (cap %d)", ErrBandwidth, v, bits, r.cfg.BandwidthBits)
 		}
-		targets := []int{o.To}
 		if o.To == Broadcast {
-			targets = r.nw.g.Neighbors(v)
-		} else if !r.nw.g.HasEdge(v, o.To) {
-			return fmt.Errorf("%w: node %d -> %d", ErrNotNeighbor, v, o.To)
+			for _, t := range r.nw.g.Neighbors(v) {
+				r.deliver(v, t, bits, o.Payload)
+			}
+		} else {
+			if !r.nw.g.HasEdge(v, o.To) {
+				return fmt.Errorf("%w: node %d -> %d", ErrNotNeighbor, v, o.To)
+			}
+			r.deliver(v, o.To, bits, o.Payload)
 		}
-		for _, t := range targets {
-			if r.cfg.DropMessage != nil && r.cfg.DropMessage(r.round, v, t) {
-				continue
-			}
-			r.inboxes[t] = append(r.inboxes[t], Message{From: v, Payload: o.Payload})
-			r.res.Messages++
-			r.res.TotalBits += bits
-			if bits > r.res.MaxMessageBits {
-				r.res.MaxMessageBits = bits
-			}
+		if bits > r.res.MaxMessageBits {
+			r.res.MaxMessageBits = bits
+		}
+		if bits > r.roundMax {
+			r.roundMax = bits
 		}
 	}
 	return nil
 }
 
-// flush returns the accumulated inboxes (sorted by sender for
-// determinism) and resets the router for the next round.
-func (r *router) flush() [][]Message {
-	in := r.inboxes
-	for v := range in {
-		sort.SliceStable(in[v], func(i, j int) bool { return in[v][i].From < in[v][j].From })
+// deliver appends one edge-delivery to the receiving inbox being filled
+// for the next round, unless fault injection drops it.
+func (r *router) deliver(from, to, bits int, p Payload) {
+	if r.cfg.DropMessage != nil && r.cfg.DropMessage(r.round, from, to) {
+		return
 	}
-	r.inboxes = make([][]Message, len(in))
-	return in
+	r.next[to] = append(r.next[to], Message{From: from, Payload: p})
+	r.res.Messages++
+	r.res.TotalBits += bits
+}
+
+// flush makes the messages routed so far the current round's inboxes
+// and recycles the previously consumed arena as the new fill target.
+// The returned slices are valid only until the next flush call — i.e.
+// for the one round the drivers execute with them.
+func (r *router) flush() [][]Message {
+	r.cur, r.next = r.next, r.cur
+	for v := range r.next {
+		r.next[v] = r.next[v][:0]
+	}
+	r.roundMax = 0
+	return r.cur
 }
 
 func runLockstep(nw *Network, nodes []Node, cfg Config) (Result, error) {
@@ -383,6 +451,7 @@ func runLockstep(nw *Network, nodes []Node, cfg Config) (Result, error) {
 				ActiveNodes: active,
 				Messages:    rt.res.Messages - prevMsgs,
 				Bits:        rt.res.TotalBits - prevBits,
+				MaxBits:     rt.roundMax,
 			})
 		}
 	}
@@ -498,6 +567,7 @@ func runGoroutines(nw *Network, nodes []Node, cfg Config) (Result, error) {
 				ActiveNodes: active,
 				Messages:    rt.res.Messages - prevMsgs,
 				Bits:        rt.res.TotalBits - prevBits,
+				MaxBits:     rt.roundMax,
 			})
 		}
 	}

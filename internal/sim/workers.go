@@ -38,6 +38,7 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	outs := make([][]Outgoing, n)
 	fins := make([]bool, n)
 	errs := make([]error, n)
+	active := make([]int, 0, n) // reused across rounds
 	remaining := n
 	for round := 1; remaining > 0; round++ {
 		if round > cfg.MaxRounds {
@@ -48,7 +49,7 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 		prevMsgs, prevBits := rt.res.Messages, rt.res.TotalBits
 		// Collect the active node ids, then fan the Round calls out to
 		// the pool.
-		var active []int
+		active = active[:0]
 		for v := 0; v < n; v++ {
 			if !done[v] {
 				active = append(active, v)
@@ -96,6 +97,7 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 				ActiveNodes: len(active),
 				Messages:    rt.res.Messages - prevMsgs,
 				Bits:        rt.res.TotalBits - prevBits,
+				MaxBits:     rt.roundMax,
 			})
 		}
 	}

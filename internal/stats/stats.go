@@ -113,16 +113,24 @@ func LinearFit(x, y []float64) Fit {
 }
 
 // PowerLawExponent estimates k for y ≈ c·x^k by a log–log linear fit.
-// All inputs must be positive.
+// Points with a non-positive (or NaN) coordinate carry no log–log
+// information — a sweep cell that measured zero rounds, for example —
+// and are skipped rather than poisoning the fit; the theorem
+// shape-checks feed measured series here, and a single degenerate cell
+// must not crash or skew the verdict. At least two positive points
+// must remain (LinearFit's precondition) or the function panics.
 func PowerLawExponent(x, y []float64) Fit {
-	lx := make([]float64, len(x))
-	ly := make([]float64, len(y))
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: series lengths %d vs %d", len(x), len(y)))
+	}
+	lx := make([]float64, 0, len(x))
+	ly := make([]float64, 0, len(y))
 	for i := range x {
-		if x[i] <= 0 || y[i] <= 0 {
-			panic("stats: power-law fit needs positive values")
+		if !(x[i] > 0) || !(y[i] > 0) { // excludes non-positive and NaN
+			continue
 		}
-		lx[i] = math.Log(x[i])
-		ly[i] = math.Log(y[i])
+		lx = append(lx, math.Log(x[i]))
+		ly = append(ly, math.Log(y[i]))
 	}
 	return LinearFit(lx, ly)
 }

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -127,11 +128,74 @@ func TestPowerLawExponent(t *testing.T) {
 	}
 }
 
-func TestPowerLawPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("non-positive input did not panic")
+func TestPowerLawSkipsNonPositivePoints(t *testing.T) {
+	// Zero / negative / NaN cells are dropped from the fit instead of
+	// panicking (they used to crash the bench shape-checks) — the fit
+	// over the remaining points is unchanged.
+	var x, y []float64
+	for i := 1; i <= 30; i++ {
+		x = append(x, float64(i))
+		y = append(y, 5*math.Pow(float64(i), 1.5))
+	}
+	clean := PowerLawExponent(x, y)
+	dirtyX := append([]float64{0, 7, -3, math.NaN()}, x...)
+	dirtyY := append([]float64{12, 0, 4, 8}, y...)
+	dirty := PowerLawExponent(dirtyX, dirtyY)
+	if !almostEqual(dirty.Slope, clean.Slope, 1e-12) || !almostEqual(dirty.R2, clean.R2, 1e-12) {
+		t.Errorf("fit with degenerate points %+v != clean fit %+v", dirty, clean)
+	}
+}
+
+func TestPowerLawPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"length mismatch":     func() { PowerLawExponent([]float64{1, 2}, []float64{1}) },
+		"all non-positive":    func() { PowerLawExponent([]float64{0, -1}, []float64{1, 2}) },
+		"one positive point":  func() { PowerLawExponent([]float64{1, 0}, []float64{1, 2}) },
+		"degenerate survivor": func() { PowerLawExponent([]float64{2, 2, 0}, []float64{1, 2, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantileClosedForm(t *testing.T) {
+	// Linear interpolation between closest ranks (the "type 7"
+	// convention): pos = q·(n−1), result = lerp(sorted[⌊pos⌋],
+	// sorted[⌈pos⌉]). Even-length samples exercise the interpolated
+	// branch for the median.
+	cases := []struct {
+		name           string
+		xs             []float64
+		q              float64
+		want           float64
+		median, p90    float64
+		checkSummarize bool
+	}{
+		{name: "even median", xs: []float64{4, 1, 3, 2}, q: 0.5, want: 2.5, median: 2.5, p90: 3.7, checkSummarize: true},
+		{name: "odd median", xs: []float64{3, 1, 2}, q: 0.5, want: 2, median: 2, p90: 2.8, checkSummarize: true},
+		{name: "even six", xs: []float64{60, 10, 30, 50, 20, 40}, q: 0.5, want: 35, median: 35, p90: 55, checkSummarize: true},
+		{name: "pair quarter", xs: []float64{1, 2}, q: 0.25, want: 1.25},
+		{name: "q0", xs: []float64{5, 9, 7}, q: 0, want: 5},
+		{name: "q1", xs: []float64{5, 9, 7}, q: 1, want: 9},
+		{name: "repeated", xs: []float64{2, 2, 2, 2}, q: 0.9, want: 2},
+	}
+	for _, tc := range cases {
+		sorted := append([]float64(nil), tc.xs...)
+		sort.Float64s(sorted)
+		if got := quantile(sorted, tc.q); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("%s: quantile(%v, %v) = %v, want %v", tc.name, sorted, tc.q, got, tc.want)
 		}
-	}()
-	PowerLawExponent([]float64{1, 0}, []float64{1, 2})
+		if tc.checkSummarize {
+			s := Summarize(tc.xs)
+			if !almostEqual(s.Median, tc.median, 1e-12) || !almostEqual(s.P90, tc.p90, 1e-12) {
+				t.Errorf("%s: Summarize median/p90 = %v/%v, want %v/%v", tc.name, s.Median, s.P90, tc.median, tc.p90)
+			}
+		}
+	}
 }
