@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-sim fuzz tables cover conform conformance clean
+.PHONY: all build vet test race bench bench-sim bench-local fuzz tables cover conform conformance clean
 
 all: build vet test
 
@@ -26,11 +26,16 @@ bench:
 bench-sim:
 	$(GO) run ./cmd/benchtab -sim > BENCH_sim.json
 
+# Local-computation selection report (docs/TESTING.md §BENCH_local.json).
+bench-local:
+	$(GO) run ./cmd/benchtab -local > BENCH_local.json
+
 fuzz:
 	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 15s ./internal/graph
 	$(GO) test -fuzz FuzzOrientRoundTrip -fuzztime 15s ./internal/graph
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 15s ./internal/coloring
 	$(GO) test -fuzz FuzzSolve -fuzztime 30s ./internal/twosweep
+	$(GO) test -fuzz FuzzSelectorEquivalence -fuzztime 15s ./internal/twosweep
 	$(GO) test -fuzz FuzzRouteEquivalence -fuzztime 15s ./internal/sim
 
 # Conformance matrix: CLI summary / heavy go-test tier (docs/TESTING.md).

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"listcolor/internal/bench"
+)
+
+// TestLocalBenchShape pins the BENCH_local.json document shape: the
+// -local -quick run must emit JSON that round-trips into
+// LocalBenchReport with no unknown fields, carries the recorded
+// baseline plus one map-ref/palette entry pair per quick workload, and
+// reports identical SelectionOps for both implementations of each
+// workload (the differential guarantee the kernel was built under).
+// Timing fields are machine-dependent and only checked for sanity.
+func TestLocalBenchShape(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-local", "-quick"}, &out, &errb); code != 0 {
+		t.Fatalf("run -local -quick = %d, stderr: %s", code, errb.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out.Bytes()))
+	dec.DisallowUnknownFields()
+	var rep bench.LocalBenchReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_local.json shape drifted: %v", err)
+	}
+	if rep.GeneratedAt == "" || rep.Note == "" {
+		t.Error("missing generated_at or note")
+	}
+	if len(rep.Baseline) == 0 {
+		t.Error("recorded baseline missing")
+	}
+	for _, e := range rep.Baseline {
+		if e.Impl != bench.ImplMapRef {
+			t.Errorf("baseline entry %s has impl %q, want %q", e.Workload, e.Impl, bench.ImplMapRef)
+		}
+	}
+	quick := bench.LocalWorkloads(true)
+	if want := 2 * len(quick); len(rep.Current) != want {
+		t.Fatalf("current has %d entries, want %d", len(rep.Current), want)
+	}
+	ops := map[string]map[string]int64{}
+	for _, e := range rep.Current {
+		if e.Impl != bench.ImplMapRef && e.Impl != bench.ImplPalette {
+			t.Errorf("unknown impl %q", e.Impl)
+		}
+		if e.NsPerOp <= 0 || e.SelectionOps <= 0 || e.Lambda <= 0 {
+			t.Errorf("%s/%s: implausible measurement %+v", e.Workload, e.Impl, e)
+		}
+		if ops[e.Workload] == nil {
+			ops[e.Workload] = map[string]int64{}
+		}
+		ops[e.Workload][e.Impl] = e.SelectionOps
+	}
+	for _, w := range quick {
+		m := ops[w.Name]
+		if m == nil {
+			t.Fatalf("workload %s missing from current", w.Name)
+		}
+		if m[bench.ImplMapRef] != m[bench.ImplPalette] {
+			t.Errorf("%s: selection_ops diverge: map-ref %d, palette %d",
+				w.Name, m[bench.ImplMapRef], m[bench.ImplPalette])
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	benchtab -quick          # smaller sweeps
 //	benchtab -markdown       # markdown output (for EXPERIMENTS.md)
 //	benchtab -sim            # engine round-throughput JSON (BENCH_sim.json)
+//	benchtab -local          # local selection kernel JSON (BENCH_local.json)
 package main
 
 import (
@@ -30,12 +31,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runID    = fs.String("run", "", "run a single experiment by ID (e.g. E4); empty = all")
-		quick    = fs.Bool("quick", false, "smaller parameter sweeps")
-		seed     = fs.Int64("seed", 1, "workload seed")
-		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
-		outPath  = fs.String("o", "", "write output to a file instead of stdout")
-		simBench = fs.Bool("sim", false, "measure simulator round throughput and emit BENCH_sim.json content")
+		runID      = fs.String("run", "", "run a single experiment by ID (e.g. E4); empty = all")
+		quick      = fs.Bool("quick", false, "smaller parameter sweeps")
+		seed       = fs.Int64("seed", 1, "workload seed")
+		markdown   = fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		outPath    = fs.String("o", "", "write output to a file instead of stdout")
+		simBench   = fs.Bool("sim", false, "measure simulator round throughput and emit BENCH_sim.json content")
+		localBench = fs.Bool("local", false, "measure local selection kernel and emit BENCH_local.json content")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,6 +60,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *simBench {
 		if err := runSimBench(out, *quick); err != nil {
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *localBench {
+		if err := runLocalBench(out, *quick); err != nil {
 			fmt.Fprintln(stderr, "benchtab:", err)
 			return 1
 		}
@@ -103,6 +113,28 @@ func runSimBench(out io.Writer, quick bool) error {
 			"baseline = pre-arena router (per-round inbox allocation + per-inbox sort), recorded once; " +
 			"current = this build. Refresh with `make bench-sim`.",
 		Baseline: bench.SimBenchBaseline(),
+		Current:  cur,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runLocalBench measures the node-local selection kernel
+// (bench.RunLocalBench) and writes the BENCH_local.json document:
+// current numbers for both the palette kernel and the retained
+// map-based reference, next to the recorded pre-kernel baseline.
+func runLocalBench(out io.Writer, quick bool) error {
+	cur, err := bench.RunLocalBench(quick)
+	if err != nil {
+		return err
+	}
+	rep := bench.LocalBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Note: "Phase-I selection local computation (one top-p selection per op; Λ = Δ list over a 2Δ color space). " +
+			"baseline = pre-kernel map-based selection (per-call index slice + map k lookups), recorded once; " +
+			"current = this build, both implementations. Refresh with `make bench-local`.",
+		Baseline: bench.LocalBenchBaseline(),
 		Current:  cur,
 	}
 	enc := json.NewEncoder(out)

@@ -26,6 +26,7 @@ import (
 
 	"listcolor/internal/coloring"
 	"listcolor/internal/graph"
+	"listcolor/internal/palette"
 	"listcolor/internal/sim"
 )
 
@@ -41,16 +42,17 @@ func GreedyList(g *graph.Graph, inst *coloring.Instance) ([]int, error) {
 	for v := range colors {
 		colors[v] = -1
 	}
+	used := palette.NewSet(inst.Space)
 	for v := 0; v < n; v++ {
-		used := make(map[int]bool)
+		used.Clear()
 		for _, u := range g.Neighbors(v) {
 			if colors[u] >= 0 {
-				used[colors[u]] = true
+				used.Insert(colors[u])
 			}
 		}
 		chosen := -1
 		for _, x := range inst.Lists[v] {
-			if !used[x] {
+			if !used.Contains(x) {
 				chosen = x
 				break
 			}
@@ -78,23 +80,15 @@ func GreedyDefective(g *graph.Graph, c int) []int {
 	for v := range colors {
 		colors[v] = -1
 	}
-	counts := make([]int, c)
+	counts := palette.NewCounter(c)
 	for v := 0; v < n; v++ {
-		for i := range counts {
-			counts[i] = 0
-		}
+		counts.Reset()
 		for _, u := range g.Neighbors(v) {
 			if colors[u] >= 0 {
-				counts[colors[u]]++
+				counts.Add(colors[u])
 			}
 		}
-		best := 0
-		for x := 1; x < c; x++ {
-			if counts[x] < counts[best] {
-				best = x
-			}
-		}
-		colors[v] = best
+		colors[v] = counts.ArgMin(c)
 	}
 	return colors
 }
@@ -102,10 +96,13 @@ func GreedyDefective(g *graph.Graph, c int) []int {
 // lubyNode is the per-node protocol of the randomized (Δ+1)-coloring:
 // every round, each uncolored node proposes a random color from its
 // remaining palette; a proposal is kept if no uncolored neighbor
-// proposed the same color and no colored neighbor owns it.
+// proposed the same color and no colored neighbor owns it. The
+// remaining palette is a kernel bitset; drawing the i-th smallest
+// member reproduces exactly the sorted-options draw of the old
+// map-based implementation, so colorings are unchanged for a seed.
 type lubyNode struct {
 	rng      *rand.Rand
-	palette  map[int]bool
+	palette  *palette.Set
 	proposal int
 	result   *int
 	space    int
@@ -116,12 +113,11 @@ func (l *lubyNode) Init(ctx *sim.Context) []sim.Outgoing {
 }
 
 func (l *lubyNode) propose() []sim.Outgoing {
-	options := make([]int, 0, len(l.palette))
-	for x := range l.palette {
-		options = append(options, x)
+	x, ok := l.palette.NthSet(l.rng.Intn(l.palette.Len()))
+	if !ok {
+		panic("baseline: luby palette exhausted")
 	}
-	sort.Ints(options)
-	l.proposal = options[l.rng.Intn(len(options))]
+	l.proposal = x
 	return []sim.Outgoing{{To: sim.Broadcast, Payload: sim.PairPayload{
 		A: l.proposal, B: 0, DomainA: l.space, DomainB: 2,
 	}}}
@@ -132,7 +128,7 @@ func (l *lubyNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]si
 	for _, m := range inbox {
 		p := m.Payload.(sim.PairPayload)
 		if p.B == 1 { // neighbor finalized this color
-			delete(l.palette, p.A)
+			l.palette.Remove(p.A)
 			if p.A == l.proposal {
 				conflict = true
 			}
@@ -159,13 +155,11 @@ func Luby(g *graph.Graph, seed int64, cfg sim.Config) ([]int, sim.Result, error)
 	colors := make([]int, n)
 	nodes := make([]sim.Node, n)
 	for v := 0; v < n; v++ {
-		palette := make(map[int]bool, space)
-		for x := 0; x < space; x++ {
-			palette[x] = true
-		}
+		pal := palette.NewSet(space)
+		pal.Fill()
 		nodes[v] = &lubyNode{
 			rng:     rand.New(rand.NewSource(seed ^ int64(v)*0x5851F42D4C957F2D)),
-			palette: palette,
+			palette: pal,
 			result:  &colors[v],
 			space:   space,
 		}
@@ -324,11 +318,54 @@ func popcount(x int) int {
 	return c
 }
 
-// SubsetSelector adapts SelectBruteForce to the Phase-I selector
-// signature used by the twosweep package, so the full Two-Sweep
-// algorithm can be run end-to-end in the exponential-local-computation
-// regime of [MT20, FK23a] for comparison (benchmark E15).
-func SubsetSelector(list, defects []int, k map[int]int, p int) ([]int, int64) {
-	sel := SelectBruteForce(list, defects, k, p)
+// SelectBruteForceCounter is SelectBruteForce reading k from the
+// kernel Counter instead of a map. Mask enumeration, scoring order and
+// ops accounting are identical, so for any k with the same contents
+// the two return the same Selection — the differential tests in
+// internal/twosweep pin that equivalence.
+func SelectBruteForceCounter(list, defects []int, k *palette.Counter, p int) Selection {
+	if len(list) > 24 {
+		panic("baseline: brute-force subset search infeasible beyond 24 colors")
+	}
+	want := p
+	if len(list) < want {
+		want = len(list)
+	}
+	var ops int64
+	best := Selection{Value: -1 << 62}
+	for mask := 1; mask < 1<<uint(len(list)); mask++ {
+		ops++
+		if popcount(mask) != want {
+			continue
+		}
+		value := 0
+		for i := 0; i < len(list); i++ {
+			ops++
+			if mask&(1<<uint(i)) != 0 {
+				value += defects[i] + 1 - k.Get(list[i])
+			}
+		}
+		if value > best.Value {
+			best.Value = value
+			best.Colors = best.Colors[:0]
+			for i := 0; i < len(list); i++ {
+				if mask&(1<<uint(i)) != 0 {
+					best.Colors = append(best.Colors, list[i])
+				}
+			}
+		}
+	}
+	sort.Ints(best.Colors)
+	best.Ops = ops
+	return best
+}
+
+// SubsetSelector adapts SelectBruteForceCounter to the Phase-I
+// selector signature used by the twosweep package, so the full
+// Two-Sweep algorithm can be run end-to-end in the
+// exponential-local-computation regime of [MT20, FK23a] for
+// comparison (benchmark E15).
+func SubsetSelector(list, defects []int, k *palette.Counter, p int, scratch *palette.SelectScratch) ([]int, int64) {
+	sel := SelectBruteForceCounter(list, defects, k, p)
 	return sel.Colors, sel.Ops
 }

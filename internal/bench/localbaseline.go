@@ -1,0 +1,16 @@
+package bench
+
+// LocalBenchBaseline returns the recorded selection cost of the
+// pre-kernel map-based path (per-call index slice, per-comparison map
+// k lookup, per-call output allocation), measured once on the
+// reference container (2026-08-05, linux/amd64) when the palette
+// kernel landed. It is the fixed anchor BENCH_local.json compares the
+// current kernel against; it is not re-measured by `make bench-local`.
+func LocalBenchBaseline() []LocalBenchEntry {
+	return []LocalBenchEntry{
+		{Workload: "delta16", Impl: ImplMapRef, Lambda: 16, P: 8, Space: 32, NsPerOp: 1371, BytesPerOp: 248, AllocsPerOp: 4.0, SelectionOps: 66},
+		{Workload: "delta64", Impl: ImplMapRef, Lambda: 64, P: 8, Space: 128, NsPerOp: 9914, BytesPerOp: 632, AllocsPerOp: 4.0, SelectionOps: 414},
+		{Workload: "delta128", Impl: ImplMapRef, Lambda: 128, P: 8, Space: 256, NsPerOp: 23790, BytesPerOp: 1144, AllocsPerOp: 4.0, SelectionOps: 989},
+		{Workload: "delta256", Impl: ImplMapRef, Lambda: 256, P: 8, Space: 512, NsPerOp: 51946, BytesPerOp: 2168, AllocsPerOp: 4.0, SelectionOps: 2192},
+	}
+}

@@ -1,0 +1,180 @@
+package bench
+
+// localbench.go measures the node-local Phase-I selection kernel,
+// independent of the simulator: one selection (the per-node local
+// computation Lemma 3.3 charges O(Λ log Λ) for) is driven in a
+// calibrated loop over representative list sizes, for both the
+// production palette-kernel path and the retained map-based reference
+// implementation. cmd/benchtab -local renders the result as
+// BENCH_local.json, the local-computation perf record the Makefile's
+// bench-local target refreshes; the Benchmark functions in
+// localbench_test.go reuse the same workloads so `go test -bench` and
+// the JSON agree.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"listcolor/internal/baseline"
+	"listcolor/internal/palette"
+)
+
+// LocalWorkload is one selection-benchmark shape: a Λ-color list over
+// a color space of size Space with selection budget P.
+type LocalWorkload struct {
+	Name   string
+	Lambda int
+	P      int
+	Space  int
+	Seed   int64
+}
+
+// LocalWorkloads returns the selection benchmark shapes: Λ = Δ lists
+// over a 2Δ color space with the paper's p = 8 budget, for the degree
+// range the experiments sweep. Quick keeps the two smallest shapes for
+// smoke runs.
+func LocalWorkloads(quick bool) []LocalWorkload {
+	deltas := []int{16, 64, 128, 256}
+	if quick {
+		deltas = []int{16, 64}
+	}
+	ws := make([]LocalWorkload, 0, len(deltas))
+	for _, d := range deltas {
+		ws = append(ws, LocalWorkload{
+			Name:   fmt.Sprintf("delta%d", d),
+			Lambda: d,
+			P:      8,
+			Space:  2 * d,
+			Seed:   int64(d),
+		})
+	}
+	return ws
+}
+
+// Materialize builds the deterministic selection input of w: a sorted
+// list of Λ distinct colors from [0, Space), per-color defects, and
+// the k counts in both representations (the map for the reference
+// path, the kernel Counter for the palette path).
+func (w LocalWorkload) Materialize() (list, defects []int, km map[int]int, kc *palette.Counter) {
+	rng := rand.New(rand.NewSource(w.Seed))
+	list = rng.Perm(w.Space)[:w.Lambda]
+	sort.Ints(list)
+	defects = make([]int, w.Lambda)
+	km = make(map[int]int, w.Lambda)
+	kc = palette.NewCounter(w.Space)
+	for i, x := range list {
+		defects[i] = rng.Intn(8)
+		kv := rng.Intn(5)
+		km[x] = kv
+		kc.AddN(x, kv)
+	}
+	return list, defects, km, kc
+}
+
+// LocalBenchEntry is one (workload, implementation) measurement.
+// SelectionOps is the deterministic comparison count the selection
+// reports — identical across implementations by construction, recorded
+// so shape drift in the JSON is visible.
+type LocalBenchEntry struct {
+	Workload     string  `json:"workload"`
+	Impl         string  `json:"impl"`
+	Lambda       int     `json:"lambda"`
+	P            int     `json:"p"`
+	Space        int     `json:"space"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	SelectionOps int64   `json:"selection_ops"`
+}
+
+// ImplMapRef and ImplPalette name the two measured selection paths.
+const (
+	ImplMapRef  = "map-ref"
+	ImplPalette = "palette"
+)
+
+// MeasureSelection times one selection implementation on w: a warmup,
+// then a loop calibrated to ≳20 ms, bracketed by MemStats reads. The
+// palette path reuses one scratch across iterations (the per-node
+// arena lifecycle), so its steady state is allocation-free; the
+// reference path allocates per call, exactly as the pre-kernel solvers
+// did per selection.
+func MeasureSelection(w LocalWorkload, impl string) (LocalBenchEntry, error) {
+	list, defects, km, kc := w.Materialize()
+	var op func() int64
+	switch impl {
+	case ImplMapRef:
+		op = func() int64 { return baseline.SelectSort(list, defects, km, w.P).Ops }
+	case ImplPalette:
+		scratch := palette.NewSelectScratch()
+		op = func() int64 { _, ops := scratch.SelectTopP(list, defects, kc, w.P); return ops }
+	default:
+		return LocalBenchEntry{}, fmt.Errorf("bench: unknown selection impl %q", impl)
+	}
+	selOps := op() // warmup + recorded ops count
+
+	// Calibrate the iteration count to a ≳20 ms measured window.
+	iters := 1
+	for {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			op()
+		}
+		if time.Since(t0) > 20*time.Millisecond || iters > 1<<22 {
+			break
+		}
+		iters *= 4
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	dt := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return LocalBenchEntry{
+		Workload:     w.Name,
+		Impl:         impl,
+		Lambda:       w.Lambda,
+		P:            w.P,
+		Space:        w.Space,
+		NsPerOp:      float64(dt.Nanoseconds()) / n,
+		BytesPerOp:   float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		AllocsPerOp:  float64(m1.Mallocs-m0.Mallocs) / n,
+		SelectionOps: selOps,
+	}, nil
+}
+
+// LocalBenchReport is the BENCH_local.json document: the measurements
+// from this machine/build plus the recorded pre-kernel baseline the
+// repo's perf trajectory is anchored to.
+type LocalBenchReport struct {
+	GeneratedAt string            `json:"generated_at"`
+	Note        string            `json:"note"`
+	Baseline    []LocalBenchEntry `json:"baseline"`
+	Current     []LocalBenchEntry `json:"current"`
+}
+
+// RunLocalBench measures every (workload, impl) pair: the map-based
+// reference and the palette kernel side by side, so the speedup is one
+// division away in the JSON.
+func RunLocalBench(quick bool) ([]LocalBenchEntry, error) {
+	var out []LocalBenchEntry
+	for _, w := range LocalWorkloads(quick) {
+		for _, impl := range []string{ImplMapRef, ImplPalette} {
+			e, err := MeasureSelection(w, impl)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"testing"
+
+	"listcolor/internal/baseline"
+	"listcolor/internal/palette"
+)
+
+// BenchmarkSelection drives the same workloads BENCH_local.json
+// records through `go test -bench`, so the two measurement paths agree.
+func BenchmarkSelection(b *testing.B) {
+	for _, w := range LocalWorkloads(false) {
+		list, defects, km, kc := w.Materialize()
+		b.Run(w.Name+"/map-ref", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				baseline.SelectSort(list, defects, km, w.P)
+			}
+		})
+		b.Run(w.Name+"/palette", func(b *testing.B) {
+			scratch := palette.NewSelectScratch()
+			scratch.SelectTopP(list, defects, kc, w.P) // warm the arena
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scratch.SelectTopP(list, defects, kc, w.P)
+			}
+		})
+	}
+}
+
+// TestMeasureSelectionAgreement pins the harness itself: both
+// implementations must report identical SelectionOps on every
+// workload, and the palette path must be allocation-free in steady
+// state.
+func TestMeasureSelectionAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated timing loops")
+	}
+	for _, w := range LocalWorkloads(true) {
+		ref, err := MeasureSelection(w, ImplMapRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pal, err := MeasureSelection(w, ImplPalette)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.SelectionOps != pal.SelectionOps {
+			t.Fatalf("%s: ops diverge: map-ref %d, palette %d", w.Name, ref.SelectionOps, pal.SelectionOps)
+		}
+		if pal.AllocsPerOp > 0.01 {
+			t.Errorf("%s: palette selection allocates %.3f/op", w.Name, pal.AllocsPerOp)
+		}
+	}
+	if _, err := MeasureSelection(LocalWorkloads(true)[0], "bogus"); err == nil {
+		t.Error("unknown impl accepted")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"listcolor/internal/graph"
+	"listcolor/internal/palette"
 	"listcolor/internal/sim"
 )
 
@@ -41,22 +42,15 @@ func GreedyArb(g *graph.Graph, d int) (colors []int, arcs [][2]int, c int) {
 	for v := range colors {
 		colors[v] = -1
 	}
-	counts := make([]int, c)
+	counts := palette.NewCounter(c)
 	for v := 0; v < n; v++ {
-		for i := range counts {
-			counts[i] = 0
-		}
+		counts.Reset()
 		for _, u := range g.Neighbors(v) {
 			if colors[u] >= 0 {
-				counts[colors[u]]++
+				counts.Add(colors[u])
 			}
 		}
-		best := 0
-		for x := 1; x < c; x++ {
-			if counts[x] < counts[best] {
-				best = x
-			}
-		}
+		best := counts.ArgMin(c)
 		colors[v] = best
 		for _, u := range g.Neighbors(v) {
 			if colors[u] == best && u < v {
@@ -73,7 +67,7 @@ func GreedyArb(g *graph.Graph, d int) (colors []int, arcs [][2]int, c int) {
 type sweepArbNode struct {
 	q, c   int
 	init   int
-	counts []int
+	counts *palette.Counter
 	result *int
 }
 
@@ -83,17 +77,12 @@ func (s *sweepArbNode) Init(ctx *sim.Context) []sim.Outgoing { return nil }
 
 func (s *sweepArbNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]sim.Outgoing, bool) {
 	for _, m := range inbox {
-		s.counts[m.Payload.(sim.IntPayload).Value]++
+		s.counts.Add(m.Payload.(sim.IntPayload).Value)
 	}
 	if round != s.init+1 {
 		return nil, false
 	}
-	best := 0
-	for x := 1; x < s.c; x++ {
-		if s.counts[x] < s.counts[best] {
-			best = x
-		}
-	}
+	best := s.counts.ArgMin(s.c)
 	*s.result = best
 	return []sim.Outgoing{{To: sim.Broadcast, Payload: sim.IntPayload{Value: best, Domain: s.c}}}, true
 }
@@ -113,7 +102,7 @@ func SweepArb(g *graph.Graph, initColors []int, q, d int, cfg sim.Config) (color
 	colors = make([]int, n)
 	nodes := make([]sim.Node, n)
 	for v := 0; v < n; v++ {
-		nodes[v] = &sweepArbNode{q: q, c: c, init: initColors[v], counts: make([]int, c), result: &colors[v]}
+		nodes[v] = &sweepArbNode{q: q, c: c, init: initColors[v], counts: palette.NewCounter(c), result: &colors[v]}
 	}
 	stats, err = sim.Run(sim.NewNetwork(g), nodes, cfg)
 	if err != nil {
@@ -139,8 +128,8 @@ func SweepArb(g *graph.Graph, initColors []int, q, d int, cfg sim.Config) (color
 type productNode struct {
 	q, c    int
 	init    int
-	counts1 []int // earlier neighbors' first coordinates
-	counts2 []int // later neighbors' second coordinates
+	counts1 *palette.Counter // earlier neighbors' first coordinates
+	counts2 *palette.Counter // later neighbors' second coordinates
 	first   int
 	result  *int
 }
@@ -158,36 +147,26 @@ func (p *productNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([
 	for _, m := range inbox {
 		switch pay := m.Payload.(type) {
 		case firstPayload:
-			p.counts1[pay.Value]++
+			p.counts1.Add(pay.Value)
 		case secondPayload:
-			p.counts2[pay.Value]++
+			p.counts2.Add(pay.Value)
 		}
 	}
 	switch round {
 	case p.init + 1:
 		// Ascending sweep: minimize over earlier neighbors' first
 		// coordinates.
-		p.first = argminCount(p.counts1)
+		p.first = p.counts1.ArgMin(p.c)
 		return []sim.Outgoing{{To: sim.Broadcast, Payload: firstPayload{sim.IntPayload{Value: p.first, Domain: p.c}}}}, false
 	case 2*p.q - p.init:
 		// Descending sweep: minimize over later neighbors' second
 		// coordinates.
-		second := argminCount(p.counts2)
+		second := p.counts2.ArgMin(p.c)
 		*p.result = p.first*p.c + second
 		return []sim.Outgoing{{To: sim.Broadcast, Payload: secondPayload{sim.IntPayload{Value: second, Domain: p.c}}}}, true
 	default:
 		return nil, false
 	}
-}
-
-func argminCount(counts []int) int {
-	best := 0
-	for x := 1; x < len(counts); x++ {
-		if counts[x] < counts[best] {
-			best = x
-		}
-	}
-	return best
 }
 
 // ProductDefective is the classical two-sweep product construction
@@ -209,7 +188,7 @@ func ProductDefective(g *graph.Graph, initColors []int, q, c int, cfg sim.Config
 	for v := 0; v < n; v++ {
 		nodes[v] = &productNode{
 			q: q, c: c, init: initColors[v],
-			counts1: make([]int, c), counts2: make([]int, c),
+			counts1: palette.NewCounter(c), counts2: palette.NewCounter(c),
 			result: &colors[v],
 		}
 	}

@@ -10,7 +10,9 @@
 // subgraph of bichromatic edges with slightly reduced defects.
 //
 // The implementation delegates to the defect-tolerant polynomial
-// color-reduction machinery in package linial.
+// color-reduction machinery in package linial, whose per-node hot path
+// (received-color table, point-value arrays, coefficient buffers) runs
+// on the internal/palette kernel and allocates nothing per round.
 package defective
 
 import (

@@ -41,6 +41,7 @@ import (
 	"listcolor/internal/graph"
 	"listcolor/internal/linial"
 	"listcolor/internal/logstar"
+	"listcolor/internal/palette"
 	"listcolor/internal/sim"
 )
 
@@ -130,10 +131,9 @@ func Solve(g *graph.Graph, inst *coloring.Instance, cfg sim.Config) (Result, err
 // and returns the still-uncolored set.
 func runScale(g *graph.Graph, inst *coloring.Instance, base linial.Result, colors []int, uncolored []int, mu int, alpha float64, cfg sim.Config, span *sim.Span) ([]int, sim.Result, int, error) {
 	h, origH := g.InducedSubgraph(uncolored)
-	indexH := make(map[int]int, len(origH))
-	for i, v := range origH {
-		indexH[v] = i
-	}
+	// origH is ascending (uncolored is maintained in id order), so a
+	// binary-search rank table replaces the per-scale map.
+	indexH := palette.NewIndex(origH)
 	baseH := make([]int, len(origH))
 	for i, v := range origH {
 		baseH[i] = base.Colors[v]
@@ -178,9 +178,11 @@ func runScale(g *graph.Graph, inst *coloring.Instance, base linial.Result, color
 		announce.TotalBits = announce.Messages * announce.MaxMessageBits
 		stats = sim.Seq(stats, sim.Seq(classStats, announce))
 		for _, v := range active {
-			done[indexH[v]] = true
+			if i, ok := indexH.Rank(v); ok {
+				done[i] = true
+			}
 			for _, u := range g.Neighbors(v) {
-				if j, ok := indexH[u]; ok {
+				if j, ok := indexH.Rank(u); ok {
 					coloredInScale[j]++
 				}
 			}
@@ -205,15 +207,16 @@ func colorActive(g *graph.Graph, inst *coloring.Instance, base linial.Result, co
 		Defects: make([][]int, len(orig)),
 		Space:   inst.Space,
 	}
+	used := palette.NewSet(inst.Space)
 	for i, v := range orig {
-		used := make(map[int]bool)
+		used.Clear()
 		for _, u := range g.Neighbors(v) {
 			if colors[u] >= 0 {
-				used[colors[u]] = true
+				used.Insert(colors[u])
 			}
 		}
 		for _, x := range inst.Lists[v] {
-			if !used[x] {
+			if !used.Contains(x) {
 				subInst.Lists[i] = append(subInst.Lists[i], x)
 				subInst.Defects[i] = append(subInst.Defects[i], 0)
 			}

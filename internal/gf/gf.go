@@ -66,13 +66,23 @@ type Poly struct {
 // padded with zeros to exactly degree+1 coefficients. It panics if m
 // does not fit, i.e. m ≥ q^(degree+1), or if m < 0.
 func PolyFromInt(m, q, degree int) Poly {
+	return PolyFromIntInto(m, q, degree, nil)
+}
+
+// PolyFromIntInto is PolyFromInt writing the coefficients into buf
+// (reallocated only if its capacity is short), so per-round polynomial
+// decoding can reuse one node-local buffer instead of allocating.
+func PolyFromIntInto(m, q, degree int, buf []int) Poly {
 	if m < 0 {
 		panic("gf: PolyFromInt of negative value")
 	}
 	if q < 2 {
 		panic("gf: PolyFromInt with field size < 2")
 	}
-	coeffs := make([]int, degree+1)
+	if cap(buf) < degree+1 {
+		buf = make([]int, degree+1)
+	}
+	coeffs := buf[:degree+1]
 	v := m
 	for i := 0; i <= degree; i++ {
 		coeffs[i] = v % q

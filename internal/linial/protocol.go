@@ -5,6 +5,7 @@ import (
 
 	"listcolor/internal/gf"
 	"listcolor/internal/graph"
+	"listcolor/internal/palette"
 	"listcolor/internal/sim"
 )
 
@@ -18,12 +19,22 @@ type Result struct {
 	Stats sim.Result
 }
 
-// reduceNode executes a reduction schedule at one node.
+// reduceNode executes a reduction schedule at one node. All per-round
+// scratch (the received-color table indexed by neighbor rank, the
+// point-value arrays, the polynomial coefficient buffers) is allocated
+// once in Init and reused, so steady-state rounds allocate nothing.
 type reduceNode struct {
 	steps    []Step
 	color    int
 	avoidOut bool // conflict set = out-neighbors (else all neighbors)
 	result   *int
+
+	nbr       palette.Index // rank over ctx.Neighbors (sorted)
+	recv      []int         // received color per neighbor rank, -1 = missing
+	myVals    []int         // my polynomial evaluated at each point
+	conflicts []int         // per-point agreement counts
+	mineBuf   []int         // coefficient scratch for my polynomial
+	theirsBuf []int         // coefficient scratch for neighbor polynomials
 }
 
 var _ sim.Node = (*reduceNode)(nil)
@@ -32,6 +43,21 @@ func (n *reduceNode) Init(ctx *sim.Context) []sim.Outgoing {
 	if len(n.steps) == 0 {
 		return nil
 	}
+	n.nbr = palette.NewIndex(ctx.Neighbors)
+	n.recv = make([]int, n.nbr.Len())
+	maxQ, maxDeg := 0, 0
+	for _, step := range n.steps {
+		if step.Q > maxQ {
+			maxQ = step.Q
+		}
+		if step.Degree > maxDeg {
+			maxDeg = step.Degree
+		}
+	}
+	n.myVals = make([]int, maxQ)
+	n.conflicts = make([]int, maxQ)
+	n.mineBuf = make([]int, maxDeg+1)
+	n.theirsBuf = make([]int, maxDeg+1)
 	return []sim.Outgoing{{To: sim.Broadcast, Payload: sim.IntPayload{Value: n.color, Domain: n.steps[0].ColorsIn}}}
 }
 
@@ -41,15 +67,19 @@ func (n *reduceNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]
 		return nil, true
 	}
 	step := n.steps[round-1]
-	received := make(map[int]int, len(inbox))
+	for i := range n.recv {
+		n.recv[i] = -1
+	}
 	for _, m := range inbox {
-		received[m.From] = m.Payload.(sim.IntPayload).Value
+		if j, ok := n.nbr.Rank(m.From); ok {
+			n.recv[j] = m.Payload.(sim.IntPayload).Value
+		}
 	}
 	avoid := ctx.Neighbors
 	if n.avoidOut {
 		avoid = ctx.Out
 	}
-	mine := gf.PolyFromInt(n.color, step.Q, step.Degree)
+	mine := gf.PolyFromIntInto(n.color, step.Q, step.Degree, n.mineBuf)
 	// Evaluate every conflict-relevant neighbor's polynomial at every
 	// point and pick the point with the fewest agreements with mine.
 	// Neighbors that currently share our color agree everywhere and
@@ -57,17 +87,20 @@ func (n *reduceNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]
 	// argmin — but for the proper (α=0) invariant check we must ignore
 	// them... they cannot exist when the input coloring is proper.
 	bestA, bestConflicts := 0, int(^uint(0)>>1)
-	myVals := make([]int, step.Q)
+	myVals := n.myVals[:step.Q]
 	for a := 0; a < step.Q; a++ {
 		myVals[a] = mine.Eval(a)
 	}
-	conflicts := make([]int, step.Q)
+	conflicts := n.conflicts[:step.Q]
+	for a := range conflicts {
+		conflicts[a] = 0
+	}
 	for _, u := range avoid {
-		c, ok := received[u]
-		if !ok {
+		j, inNbr := n.nbr.Rank(u)
+		if !inNbr || n.recv[j] < 0 {
 			panic(fmt.Sprintf("linial: node %d missing color of neighbor %d in round %d", ctx.ID, u, round))
 		}
-		theirs := gf.PolyFromInt(c, step.Q, step.Degree)
+		theirs := gf.PolyFromIntInto(n.recv[j], step.Q, step.Degree, n.theirsBuf)
 		for a := 0; a < step.Q; a++ {
 			if theirs.Eval(a) == myVals[a] {
 				conflicts[a]++

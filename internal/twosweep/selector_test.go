@@ -9,6 +9,7 @@ import (
 	"listcolor/internal/coloring"
 	"listcolor/internal/graph"
 	"listcolor/internal/linial"
+	"listcolor/internal/palette"
 	"listcolor/internal/sim"
 )
 
@@ -58,12 +59,14 @@ func TestSortSelectorProperties(t *testing.T) {
 		list := make([]int, lSize)
 		defects := make([]int, lSize)
 		k := make(map[int]int)
+		kc := palette.NewCounter(2 * lSize)
 		for i := range list {
 			list[i] = i * 2
 			defects[i] = rng.Intn(5)
 			k[list[i]] = rng.Intn(4)
+			kc.AddN(list[i], k[list[i]])
 		}
-		colors, ops := SortSelector(list, defects, k, p)
+		colors, ops := SortSelector(list, defects, kc, p, palette.NewSelectScratch())
 		if ops < 0 {
 			return false
 		}

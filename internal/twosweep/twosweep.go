@@ -34,6 +34,7 @@ import (
 	"listcolor/internal/defective"
 	"listcolor/internal/graph"
 	"listcolor/internal/logstar"
+	"listcolor/internal/palette"
 	"listcolor/internal/sim"
 )
 
@@ -61,38 +62,25 @@ type Result struct {
 }
 
 // Selector chooses the Phase-I sublist S_v: given L_v, its defects,
-// the counts k_v and the size bound p, it returns the chosen colors
-// and the elementary operations it spent. The default is the paper's
-// sort-based selection (near-linear local computation); tests and
-// benchmarks plug in an exhaustive subset search to reproduce the
-// exponential-local-computation regime of [MT20, FK23a].
-type Selector func(list, defects []int, k map[int]int, p int) (colors []int, ops int64)
+// the counts k_v (a dense palette counter) and the size bound p, it
+// returns the chosen colors and the elementary operations it spent.
+// The scratch is the calling node's pooled selection arena; selectors
+// may return a slice aliasing it (valid until the node's next
+// selection). The default is the paper's sort-based selection
+// (near-linear local computation); tests and benchmarks plug in an
+// exhaustive subset search to reproduce the
+// exponential-local-computation regime of [MT20, FK23a]. The ops
+// counts are identical to the retained map-based reference selectors
+// in internal/baseline (SelectSort / SelectBruteForce), which the
+// differential tests enforce.
+type Selector func(list, defects []int, k *palette.Counter, p int, scratch *palette.SelectScratch) (colors []int, ops int64)
 
 // SortSelector is the paper's Phase-I selection: sort L_v by
 // d_v(x) − k_v(x) descending (ties to the smaller color) and take the
-// first p colors. O(Λ log Λ) operations.
-func SortSelector(list, defects []int, k map[int]int, p int) ([]int, int64) {
-	idx := make([]int, len(list))
-	for i := range idx {
-		idx[i] = i
-	}
-	var ops int64
-	score := func(i int) int { return defects[i] - k[list[i]] }
-	sort.SliceStable(idx, func(a, b int) bool {
-		ops++
-		return score(idx[a]) > score(idx[b])
-	})
-	take := p
-	if len(list) < take {
-		take = len(list)
-	}
-	out := make([]int, 0, take)
-	for _, i := range idx[:take] {
-		ops++
-		out = append(out, list[i])
-	}
-	sort.Ints(out)
-	return out, ops
+// first p colors. O(Λ log Λ) operations, allocation-free in steady
+// state on the palette kernel.
+func SortSelector(list, defects []int, k *palette.Counter, p int, scratch *palette.SelectScratch) ([]int, int64) {
+	return scratch.SelectTopP(list, defects, k, p)
 }
 
 // CheckSlack verifies Eq. 2 (with p) scaled by (1+ε) (Eq. 7 for
@@ -127,7 +115,10 @@ func CheckSlack(d *graph.Digraph, inst *coloring.Instance, p int, eps float64) e
 	return nil
 }
 
-// sweepNode is the per-node Two-Sweep state machine.
+// sweepNode is the per-node Two-Sweep state machine. All node-local
+// tables live on the palette kernel and are allocated once in Init:
+// the rounds themselves only index flat arrays and bump counters, so
+// steady-state execution performs no allocation.
 type sweepNode struct {
 	q, p int
 	init int // initial color in [0, q)
@@ -135,12 +126,19 @@ type sweepNode struct {
 	list    []int // L_v (sorted)
 	defects []int // aligned defects
 
-	neighborInit map[int]int   // neighbor → initial color
-	subLists     map[int][]int // out-neighbor → its S_u
-	finals       map[int]int   // out-neighbor → committed color
+	nbr    palette.Index // neighbor id → dense position
+	initOf []int         // per position: neighbor's initial color (0 if never received)
+	outAt  *palette.Set  // positions that are out-neighbors
+
+	// k counts color occurrences in the sublists of earlier
+	// out-neighbors, r the committed colors of later out-neighbors —
+	// both accumulated incrementally as the messages arrive, which is
+	// equivalent to the Algorithm 1 formulation because every relevant
+	// message is delivered no later than the round that reads it.
+	k, r    *palette.Counter
+	scratch *palette.SelectScratch
 
 	sub      []int // our S_v
-	k        map[int]int
 	result   *int
 	space    int
 	fail     *error
@@ -157,31 +155,54 @@ type initColorPayload struct{ sim.IntPayload }
 type finalColorPayload struct{ sim.IntPayload }
 
 func (n *sweepNode) Init(ctx *sim.Context) []sim.Outgoing {
-	n.neighborInit = make(map[int]int, len(ctx.Neighbors))
-	n.subLists = make(map[int][]int)
-	n.finals = make(map[int]int)
+	n.nbr = palette.NewIndex(ctx.Neighbors)
+	n.initOf = make([]int, len(ctx.Neighbors))
+	n.outAt = palette.NewSet(len(ctx.Neighbors))
+	for _, u := range ctx.Out {
+		if i, ok := n.nbr.Rank(u); ok {
+			n.outAt.Insert(i)
+		}
+	}
+	n.k = palette.NewCounter(n.space)
+	n.r = palette.NewCounter(n.space)
+	n.scratch = palette.NewSelectScratch()
 	return []sim.Outgoing{{To: sim.Broadcast, Payload: initColorPayload{sim.IntPayload{Value: n.init, Domain: n.q}}}}
 }
 
 func (n *sweepNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]sim.Outgoing, bool) {
-	for _, m := range inbox {
+	for i := range inbox {
+		m := &inbox[i]
 		switch p := m.Payload.(type) {
 		case initColorPayload:
-			n.neighborInit[m.From] = p.Value
+			if j, ok := n.nbr.Rank(m.From); ok {
+				n.initOf[j] = p.Value
+			}
 		case finalColorPayload:
-			n.finals[m.From] = p.Value
+			// r_v(x): out-neighbors from later classes committing before
+			// our Phase II turn. (Finals of smaller-init out-neighbors
+			// cannot arrive before we commit, so the guard matches the
+			// batch computation exactly.)
+			if j, ok := n.nbr.Rank(m.From); ok && n.outAt.Contains(j) && n.initOf[j] > n.init {
+				n.r.Add(p.Value)
+			}
 		case sim.IntsPayload:
-			n.subLists[m.From] = p.Values
+			// k_v(x): sublists of out-neighbors from earlier classes, all
+			// delivered no later than our own Phase I turn.
+			if j, ok := n.nbr.Rank(m.From); ok && n.outAt.Contains(j) && n.initOf[j] < n.init {
+				for _, x := range p.Values {
+					n.k.Add(x)
+				}
+			}
 		}
 	}
 	switch {
 	case round == 2+n.init:
 		// Phase I turn: choose S_v.
-		n.chooseSub(ctx)
+		n.chooseSub()
 		return []sim.Outgoing{{To: sim.Broadcast, Payload: sim.IntsPayload{Values: n.sub, Domain: n.space, MaxLen: n.p}}}, false
 	case round == 2*n.q+1-n.init:
 		// Phase II turn: commit to a color.
-		x, ok := n.chooseFinal(ctx)
+		x, ok := n.chooseFinal()
 		if !ok {
 			*n.fail = fmt.Errorf("%w: node %d (S_v=%v)", ErrStuck, ctx.ID, n.sub)
 			return nil, true
@@ -193,38 +214,23 @@ func (n *sweepNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]s
 	}
 }
 
-// chooseSub computes k_v and S_v per Algorithm 1 lines 3–4.
-func (n *sweepNode) chooseSub(ctx *sim.Context) {
-	n.k = make(map[int]int, len(n.list))
-	for _, u := range ctx.Out {
-		if n.neighborInit[u] < n.init {
-			for _, x := range n.subLists[u] {
-				n.k[x]++
-			}
-		}
-	}
-	sub, ops := n.selector(n.list, n.defects, n.k, n.p)
+// chooseSub computes S_v per Algorithm 1 lines 3–4 (k_v has been
+// accumulated on arrival).
+func (n *sweepNode) chooseSub() {
+	sub, ops := n.selector(n.list, n.defects, n.k, n.p, n.scratch)
 	n.sub = sub
 	*n.ops = ops
 }
 
 // chooseFinal picks the first x ∈ S_v with k_v(x) + r_v(x) ≤ d_v(x)
 // (Eq. 5).
-func (n *sweepNode) chooseFinal(ctx *sim.Context) (int, bool) {
-	r := make(map[int]int, len(n.sub))
-	for _, u := range ctx.Out {
-		if n.neighborInit[u] > n.init {
-			if xu, ok := n.finals[u]; ok {
-				r[xu]++
-			}
-		}
-	}
+func (n *sweepNode) chooseFinal() (int, bool) {
 	for _, x := range n.sub {
 		d, ok := defectOf(n.list, n.defects, x)
 		if !ok {
 			continue
 		}
-		if n.k[x]+r[x] <= d {
+		if n.k.Get(x)+n.r.Get(x) <= d {
 			return x, true
 		}
 	}
@@ -273,9 +279,13 @@ func solveUnchecked(d *graph.Digraph, inst *coloring.Instance, initColors []int,
 		// Phase II picks when k ≡ r ≡ 0), in a single round.
 		out := make([]int, n)
 		var ops int64
-		emptyK := map[int]int{}
+		// One shared zero counter and one shared scratch serve every
+		// node: selection only reads k, and out[v] is copied before the
+		// next node overwrites the scratch-backed sublist.
+		emptyK := palette.NewCounter(inst.Space)
+		scratch := palette.NewSelectScratch()
 		for v := 0; v < n; v++ {
-			sub, o := sel(inst.Lists[v], inst.Defects[v], emptyK, p)
+			sub, o := sel(inst.Lists[v], inst.Defects[v], emptyK, p, scratch)
 			ops += o
 			if len(sub) == 0 {
 				return Result{}, fmt.Errorf("%w: node %d (empty selection)", ErrStuck, v)
