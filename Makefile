@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-sim bench-local fuzz tables cover conform conformance clean
+.PHONY: all build vet test race bench bench-sim bench-local bench-harness fuzz tables cover conform conformance clean
 
 all: build vet test
 
@@ -29,6 +29,10 @@ bench-sim:
 # Local-computation selection report (docs/TESTING.md §BENCH_local.json).
 bench-local:
 	$(GO) run ./cmd/benchtab -local > BENCH_local.json
+
+# Sweep-scheduler throughput report (docs/TESTING.md §BENCH_harness.json).
+bench-harness:
+	$(GO) run ./cmd/benchtab -harness > BENCH_harness.json
 
 fuzz:
 	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 15s ./internal/graph

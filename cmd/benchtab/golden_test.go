@@ -22,6 +22,10 @@ var goldenCases = []struct {
 }{
 	{"text", []string{"-run", "E1", "-quick", "-seed", "1"}, "e1_quick.golden"},
 	{"markdown", []string{"-run", "E1", "-quick", "-seed", "1", "-markdown"}, "e1_quick_md.golden"},
+	// The same golden under explicit worker budgets: the scheduler's
+	// determinism contract says the bytes cannot depend on -parallel.
+	{"text-parallel-1", []string{"-run", "E1", "-quick", "-seed", "1", "-parallel", "1"}, "e1_quick.golden"},
+	{"text-parallel-4", []string{"-run", "E1", "-quick", "-seed", "1", "-parallel", "4"}, "e1_quick.golden"},
 }
 
 func TestGoldenE1(t *testing.T) {

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"listcolor/internal/bench"
+)
+
+// TestHarnessBenchShape pins the BENCH_harness.json document shape:
+// the -harness -quick run must emit JSON that round-trips into
+// HarnessBenchReport with no unknown fields, carries the recorded
+// sequential baseline plus one entry per quick worker budget (the
+// sequential anchor first), and reports every run's tables as
+// byte-identical to the sequential run — the scheduler's determinism
+// contract — with at least one workload-cache hit proving graph
+// reuse. Timing fields are machine-dependent and only checked for
+// sanity.
+func TestHarnessBenchShape(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-harness", "-quick"}, &out, &errb); code != 0 {
+		t.Fatalf("run -harness -quick = %d, stderr: %s", code, errb.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out.Bytes()))
+	dec.DisallowUnknownFields()
+	var rep bench.HarnessBenchReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_harness.json shape drifted: %v", err)
+	}
+	if rep.GeneratedAt == "" || rep.Note == "" {
+		t.Error("missing generated_at or note")
+	}
+	if rep.GOMAXPROCS <= 0 || rep.NumCPU <= 0 {
+		t.Errorf("implausible host description: gomaxprocs=%d num_cpu=%d", rep.GOMAXPROCS, rep.NumCPU)
+	}
+	if len(rep.Baseline) == 0 {
+		t.Fatal("recorded baseline missing")
+	}
+	if rep.Baseline[0].Mode != "sequential" || rep.Baseline[0].Workers != 1 {
+		t.Errorf("baseline anchor is %s/workers=%d, want sequential/1", rep.Baseline[0].Mode, rep.Baseline[0].Workers)
+	}
+	budgets := bench.HarnessWorkerBudgets(true)
+	if len(rep.Current) != len(budgets) {
+		t.Fatalf("current has %d entries, want %d", len(rep.Current), len(budgets))
+	}
+	for i, e := range rep.Current {
+		if e.Workers != budgets[i] {
+			t.Errorf("entry %d: workers = %d, want %d", i, e.Workers, budgets[i])
+		}
+		wantMode := "parallel"
+		if e.Workers == 1 {
+			wantMode = "sequential"
+		}
+		if e.Mode != wantMode {
+			t.Errorf("entry %d: mode = %q, want %q", i, e.Mode, wantMode)
+		}
+		if e.WallMs <= 0 || e.SpeedupVsSequential <= 0 {
+			t.Errorf("entry %d: implausible measurement %+v", i, e)
+		}
+		if !e.TablesIdentical {
+			t.Errorf("entry %d (workers=%d): tables diverged from the sequential run", i, e.Workers)
+		}
+		if e.Cache.Hits == 0 {
+			t.Errorf("entry %d (workers=%d): no workload-cache hits — graph reuse is broken", i, e.Workers)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Command benchtab regenerates the experiment tables recorded in
-// EXPERIMENTS.md: one table per theorem-validation experiment (E1–E12;
+// EXPERIMENTS.md: one table per theorem-validation experiment (E1–E15;
 // see DESIGN.md's experiment index).
 //
 // Examples:
@@ -10,6 +10,8 @@
 //	benchtab -markdown       # markdown output (for EXPERIMENTS.md)
 //	benchtab -sim            # engine round-throughput JSON (BENCH_sim.json)
 //	benchtab -local          # local selection kernel JSON (BENCH_local.json)
+//	benchtab -harness        # sweep-scheduler throughput JSON (BENCH_harness.json)
+//	benchtab -parallel 1     # force the sequential scheduler (same bytes)
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"listcolor/internal/bench"
@@ -31,13 +34,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runID      = fs.String("run", "", "run a single experiment by ID (e.g. E4); empty = all")
-		quick      = fs.Bool("quick", false, "smaller parameter sweeps")
-		seed       = fs.Int64("seed", 1, "workload seed")
-		markdown   = fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
-		outPath    = fs.String("o", "", "write output to a file instead of stdout")
-		simBench   = fs.Bool("sim", false, "measure simulator round throughput and emit BENCH_sim.json content")
-		localBench = fs.Bool("local", false, "measure local selection kernel and emit BENCH_local.json content")
+		runID        = fs.String("run", "", "run a single experiment by ID (e.g. E4); empty = all")
+		quick        = fs.Bool("quick", false, "smaller parameter sweeps")
+		seed         = fs.Int64("seed", 1, "workload seed")
+		markdown     = fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		outPath      = fs.String("o", "", "write output to a file instead of stdout")
+		simBench     = fs.Bool("sim", false, "measure simulator round throughput and emit BENCH_sim.json content")
+		localBench   = fs.Bool("local", false, "measure local selection kernel and emit BENCH_local.json content")
+		harnessBench = fs.Bool("harness", false, "measure sweep-scheduler throughput and emit BENCH_harness.json content")
+		parallel     = fs.Int("parallel", 0, "sweep worker budget (0 = GOMAXPROCS, 1 = sequential); tables are bit-identical for every value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,7 +79,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	opt := bench.Options{Seed: *seed, Quick: *quick}
+	if *harnessBench {
+		if err := runHarnessBench(out, *quick, *seed); err != nil {
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
+		}
+		return 0
+	}
+
+	opt := bench.Options{Seed: *seed, Quick: *quick, Parallel: *parallel}
 	var tables []bench.Table
 	if *runID != "" {
 		tb, err := bench.Run(*runID, opt)
@@ -114,6 +127,34 @@ func runSimBench(out io.Writer, quick bool) error {
 			"current = this build. Refresh with `make bench-sim`.",
 		Baseline: bench.SimBenchBaseline(),
 		Current:  cur,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runHarnessBench measures the sweep scheduler (bench.RunHarnessBench)
+// and writes the BENCH_harness.json document: the full registry timed
+// sequentially and under increasing worker budgets, with cache reuse
+// counters and the byte-identity verdict for every parallel run, next
+// to the recorded sequential baseline.
+func runHarnessBench(out io.Writer, quick bool, seed int64) error {
+	cur, err := bench.RunHarnessBench(quick, seed)
+	if err != nil {
+		return err
+	}
+	rep := bench.HarnessBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Note: "Sweep-scheduler throughput: one full bench.All per worker budget (best of 3). " +
+			"baseline = sequential harness (workers=1), recorded once on the reference container; " +
+			"current = this build. tables_identical_to_sequential verifies the determinism contract on every run. " +
+			"Speedups are bounded by the host's core count — on a single-CPU container parallel wall time " +
+			"matches sequential, and only the byte-identity and cache columns carry information. " +
+			"Refresh with `make bench-harness`.",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Baseline:   bench.HarnessBenchBaseline(),
+		Current:    cur,
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

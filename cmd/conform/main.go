@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/conform [-seed N] [-heavy] [-faults=false]
+//	go run ./cmd/conform [-seed N] [-heavy] [-faults=false] [-parallel N]
 //	                     [-workload substr] [-solver substr] [-v]
 package main
 
@@ -32,6 +32,7 @@ func run(args []string, w io.Writer) int {
 	workload := fs.String("workload", "", "only workloads whose name contains this substring")
 	solver := fs.String("solver", "", "only solvers whose name contains this substring")
 	verbose := fs.Bool("v", false, "print every guarantee check with its headroom")
+	parallel := fs.Int("parallel", 0, "matrix worker budget (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -41,6 +42,7 @@ func run(args []string, w io.Writer) int {
 		Faults:         *faults,
 		WorkloadFilter: *workload,
 		SolverFilter:   *solver,
+		Parallel:       *parallel,
 	})
 	if err != nil {
 		fmt.Fprintf(w, "conform: %v\n", err)

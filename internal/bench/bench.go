@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+
+	"listcolor/internal/workload"
 )
 
 // Table is one experiment's output.
@@ -90,6 +93,20 @@ type Options struct {
 	Seed int64
 	// Quick shrinks the sweeps for fast smoke runs.
 	Quick bool
+	// Parallel is the sweep scheduler's worker budget: the maximum
+	// number of cells executing concurrently across the whole run.
+	// 0 means GOMAXPROCS; 1 runs every cell sequentially in
+	// declaration order (the legacy harness behavior). Tables are
+	// bit-identical for every value — see scheduler.go's determinism
+	// contract.
+	Parallel int
+	// Cache is the shared workload cache graphs and derived values
+	// are reused through; All and Run create one when nil, so callers
+	// only set it to observe reuse counters or to share across calls.
+	Cache *workload.Cache
+
+	// sem is the run-wide cell semaphore, populated by shared().
+	sem chan struct{}
 }
 
 // Experiment is a registered experiment.
@@ -97,32 +114,53 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(Options) Table
+
+	// num is the numeric sort key parsed from ID once at registry
+	// construction (E10 must follow E9, not E1).
+	num int
 }
+
+// registry is built once: the experiment list is static, and parsing
+// the numeric IDs inside a sort comparator on every Registry call was
+// measurable harness overhead (fmt.Sscanf per comparison).
+var (
+	registryOnce sync.Once
+	registryList []Experiment
+)
 
 // Registry returns all experiments in ID order.
 func Registry() []Experiment {
+	registryOnce.Do(buildRegistry)
+	// Fresh top-level slice: callers may reorder without corrupting
+	// the shared registry.
+	return append([]Experiment(nil), registryList...)
+}
+
+func buildRegistry() {
 	exps := []Experiment{
-		{"E1", "Two-Sweep rounds are exactly 2q+1 (Lemma 3.3)", RunE1},
-		{"E2", "Two-Sweep defect guarantee at minimum slack (Lemma 3.2)", RunE2},
-		{"E3", "Fast-Two-Sweep rounds: O(min{q,(p/ε)²+log* q}) (Theorem 1.1)", RunE3},
-		{"E4", "Color space reduction: rounds O(log³C), messages O(log q+log C) (Theorem 1.2)", RunE4},
-		{"E5", "(deg+1)-list coloring pipeline vs Δ (Theorem 1.3)", RunE5},
-		{"E6", "Local computation: sort vs subset search (vs [MT20, FK23a])", RunE6},
-		{"E7", "Defective from arbdefective: ≤ ⌈logΔ⌉+1 iterations (Theorem 1.4)", RunE7},
-		{"E8", "Bounded-θ recursion and (2Δ−1)-edge coloring (Theorem 1.5)", RunE8},
-		{"E9", "List defective 3-coloring (Section 1.1 application)", RunE9},
-		{"E10", "Proper list coloring with lists of size β²+β+1 (Section 1.1)", RunE10},
-		{"E11", "Slack reduction cost: O(μ²)·T_A(μ,C) classes (Lemma 4.4)", RunE11},
-		{"E12", "Baseline comparison: rounds and palette (greedy, Luby, this paper)", RunE12},
-		{"E13", "Classical single-sweep / product constructions and Claim 4.1", RunE13},
-		{"E14", "Bounded-θ recursion vs general solver on unit-disk graphs", RunE14},
-		{"E15", "End-to-end local computation: sort vs subset-search selection", RunE15},
+		{ID: "E1", Title: "Two-Sweep rounds are exactly 2q+1 (Lemma 3.3)", Run: RunE1},
+		{ID: "E2", Title: "Two-Sweep defect guarantee at minimum slack (Lemma 3.2)", Run: RunE2},
+		{ID: "E3", Title: "Fast-Two-Sweep rounds: O(min{q,(p/ε)²+log* q}) (Theorem 1.1)", Run: RunE3},
+		{ID: "E4", Title: "Color space reduction: rounds O(log³C), messages O(log q+log C) (Theorem 1.2)", Run: RunE4},
+		{ID: "E5", Title: "(deg+1)-list coloring pipeline vs Δ (Theorem 1.3)", Run: RunE5},
+		{ID: "E6", Title: "Local computation: sort vs subset search (vs [MT20, FK23a])", Run: RunE6},
+		{ID: "E7", Title: "Defective from arbdefective: ≤ ⌈logΔ⌉+1 iterations (Theorem 1.4)", Run: RunE7},
+		{ID: "E8", Title: "Bounded-θ recursion and (2Δ−1)-edge coloring (Theorem 1.5)", Run: RunE8},
+		{ID: "E9", Title: "List defective 3-coloring (Section 1.1 application)", Run: RunE9},
+		{ID: "E10", Title: "Proper list coloring with lists of size β²+β+1 (Section 1.1)", Run: RunE10},
+		{ID: "E11", Title: "Slack reduction cost: O(μ²)·T_A(μ,C) classes (Lemma 4.4)", Run: RunE11},
+		{ID: "E12", Title: "Baseline comparison: rounds and palette (greedy, Luby, this paper)", Run: RunE12},
+		{ID: "E13", Title: "Classical single-sweep / product constructions and Claim 4.1", Run: RunE13},
+		{ID: "E14", Title: "Bounded-θ recursion vs general solver on unit-disk graphs", Run: RunE14},
+		{ID: "E15", Title: "End-to-end local computation: sort vs subset-search selection", Run: RunE15},
 	}
-	sort.Slice(exps, func(i, j int) bool {
-		// E1 < E2 < ... < E10 < E11 < E12 numerically.
-		return expNum(exps[i].ID) < expNum(exps[j].ID)
-	})
-	return exps
+	// Parse each numeric key exactly once, then sort on the ints:
+	// E1 < E2 < ... < E10 < E11 < E12 numerically.
+	for i := range exps {
+		exps[i].num = expNum(exps[i].ID)
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].num < exps[j].num })
+	registryList = exps
 }
 
 func expNum(id string) int {
@@ -131,12 +169,32 @@ func expNum(id string) int {
 	return n
 }
 
-// All runs every experiment.
+// All runs every experiment. With a worker budget above 1 the
+// experiments themselves fan out too: each runs on its own goroutine
+// while all their cells share the run-wide semaphore, so the heavy
+// tail of one experiment overlaps the next instead of serializing
+// behind it. Output order (and content — see scheduler.go) is
+// identical to the sequential run.
 func All(opt Options) []Table {
-	var out []Table
-	for _, e := range Registry() {
-		out = append(out, e.Run(opt))
+	reg := Registry()
+	out := make([]Table, len(reg))
+	if opt.parallelism() <= 1 {
+		opt = opt.shared()
+		for i, e := range reg {
+			out[i] = e.Run(opt)
+		}
+		return out
 	}
+	opt = opt.shared()
+	var wg sync.WaitGroup
+	for i := range reg {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = reg[i].Run(opt)
+		}(i)
+	}
+	wg.Wait()
 	return out
 }
 
@@ -144,7 +202,7 @@ func All(opt Options) []Table {
 func Run(id string, opt Options) (Table, error) {
 	for _, e := range Registry() {
 		if e.ID == id {
-			return e.Run(opt), nil
+			return e.Run(opt.shared()), nil
 		}
 	}
 	return Table{}, fmt.Errorf("bench: unknown experiment %q", id)

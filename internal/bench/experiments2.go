@@ -9,11 +9,11 @@ import (
 	"listcolor/internal/coloring"
 	"listcolor/internal/deltaplus1"
 	"listcolor/internal/graph"
-	"listcolor/internal/hypergraph"
 	"listcolor/internal/logstar"
 	"listcolor/internal/nbhood"
 	"listcolor/internal/sim"
 	"listcolor/internal/twosweep"
+	"listcolor/internal/workload"
 )
 
 func solveDegPlusOne(g *graph.Graph, inst *coloring.Instance) (deltaplus1.Result, error) {
@@ -30,42 +30,52 @@ func RunE7(opt Options) Table {
 		Claim:   "T_D(42·θ·logΔ·S, C) ≤ O(logΔ)·T_A(S, C) (Theorem 1.4)",
 		Columns: []string{"graph", "θ", "Δ", "⌈logΔ⌉+1", "rounds", "valid"},
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 6))
-	type workload struct {
-		name  string
-		g     *graph.Graph
-		theta int
+	type load struct {
+		name   string
+		family string
+		params workload.Params
+		theta  int
 	}
-	var loads []workload
-	lg1, _ := graph.LineGraph(graph.RandomRegular(14, 3, rng))
-	loads = append(loads, workload{"L(regular(14,3))", lg1, 2})
-	loads = append(loads, workload{"ring(24)", graph.Ring(24), 2})
+	loads := []load{
+		{"L(regular(14,3))", "linegraph", workload.Params{N: 14, Degree: 3}, 2},
+		{"ring(24)", "ring", workload.Params{N: 24}, 2},
+	}
 	if !opt.Quick {
-		h := hypergraph.RandomRegularRank(12, 10, 3, rng)
-		loads = append(loads, workload{"L(hypergraph r=3)", h.LineGraph(), 3})
+		loads = append(loads, load{"L(hypergraph r=3)", "hyperline", workload.Params{N: 12, Degree: 3}, 3})
 	}
+	var cells []Cell
 	for _, w := range loads {
-		base, q, _ := properBase(w.g)
-		s := 2
-		need := nbhood.Theorem14Slack(w.theta, w.g.MaxDegree(), s)
-		inst := coloring.WithSlack(w.g, 2*need*w.g.MaxDegree()+40, float64(need)+1, rng)
-		arb := nbhood.ArbSlack2Solver(w.theta, sim.Config{})
-		colors, stats, err := nbhood.DefectiveFromArb(w.g, inst, base, q, w.theta, s, arb)
-		if err != nil {
-			panic(err)
-		}
-		valid := coloring.ValidateListDefective(w.g, inst, colors) == nil
-		t.Rows = append(t.Rows, []string{
-			w.name, itoa(w.theta), itoa(w.g.MaxDegree()),
-			itoa(logstar.CeilLog2(w.g.MaxDegree()) + 1), itoa(stats.Rounds), btoa(valid),
+		cells = append(cells, Cell{
+			Name: w.name,
+			Run: func(seed int64) CellOut {
+				rng := rand.New(rand.NewSource(seed))
+				g := opt.cachedGraph(w.family, w.params, 0)
+				base, q, _ := opt.properBase(g)
+				s := 2
+				need := nbhood.Theorem14Slack(w.theta, g.MaxDegree(), s)
+				inst := coloring.WithSlack(g, 2*need*g.MaxDegree()+40, float64(need)+1, rng)
+				arb := nbhood.ArbSlack2Solver(w.theta, sim.Config{})
+				colors, st, err := nbhood.DefectiveFromArb(g, inst, base, q, w.theta, s, arb)
+				if err != nil {
+					panic(err)
+				}
+				valid := coloring.ValidateListDefective(g, inst, colors) == nil
+				return CellOut{Rows: [][]string{{
+					w.name, itoa(w.theta), itoa(g.MaxDegree()),
+					itoa(logstar.CeilLog2(g.MaxDegree()) + 1), itoa(st.Rounds), btoa(valid),
+				}}}
+			},
 		})
 	}
+	t.Rows = rowsOf(RunCells(opt, "E7", cells))
 	t.Notes = "the reduction runs exactly ⌈logΔ⌉+1 iterations of the arbdefective subroutine"
 	return t
 }
 
 // RunE8 measures the full Theorem 1.5 pipeline via its flagship
-// application, (2Δ−1)-edge coloring.
+// application, (2Δ−1)-edge coloring. The workloads are tiny fixed
+// graphs whose construction is deterministic and O(n), so the cells
+// build them directly instead of going through the workload cache.
 func RunE8(opt Options) Table {
 	t := Table{
 		ID:      "E8",
@@ -74,40 +84,48 @@ func RunE8(opt Options) Table {
 		Columns: []string{"graph", "Δ", "edges", "palette 2Δ−1", "rounds", "proper"},
 	}
 	graphs := []struct {
-		name string
-		g    *graph.Graph
+		name  string
+		build func() *graph.Graph
 	}{
-		{"ring(16)", graph.Ring(16)},
-		{"K5", graph.Complete(5)},
-		{"grid(3,4)", graph.Grid(3, 4)},
+		{"ring(16)", func() *graph.Graph { return graph.Ring(16) }},
+		{"K5", func() *graph.Graph { return graph.Complete(5) }},
+		{"grid(3,4)", func() *graph.Graph { return graph.Grid(3, 4) }},
 	}
 	if !opt.Quick {
 		graphs = append(graphs, struct {
-			name string
-			g    *graph.Graph
-		}{"K7", graph.Complete(7)})
+			name  string
+			build func() *graph.Graph
+		}{"K7", func() *graph.Graph { return graph.Complete(7) }})
 	}
+	var cells []Cell
 	for _, w := range graphs {
-		edgeColors, palette, stats, err := nbhood.EdgeColor(w.g, sim.Config{})
-		if err != nil {
-			panic(err)
-		}
-		proper := true
-		edges := w.g.Edges()
-		for i := range edges {
-			for j := i + 1; j < len(edges); j++ {
-				share := edges[i][0] == edges[j][0] || edges[i][0] == edges[j][1] ||
-					edges[i][1] == edges[j][0] || edges[i][1] == edges[j][1]
-				if share && edgeColors[i] == edgeColors[j] {
-					proper = false
+		cells = append(cells, Cell{
+			Name: w.name,
+			Run: func(int64) CellOut {
+				g := w.build()
+				edgeColors, pal, st, err := nbhood.EdgeColor(g, sim.Config{})
+				if err != nil {
+					panic(err)
 				}
-			}
-		}
-		t.Rows = append(t.Rows, []string{
-			w.name, itoa(w.g.MaxDegree()), itoa(w.g.M()), itoa(palette),
-			itoa(stats.Rounds), btoa(proper),
+				proper := true
+				edges := g.Edges()
+				for i := range edges {
+					for j := i + 1; j < len(edges); j++ {
+						share := edges[i][0] == edges[j][0] || edges[i][0] == edges[j][1] ||
+							edges[i][1] == edges[j][0] || edges[i][1] == edges[j][1]
+						if share && edgeColors[i] == edgeColors[j] {
+							proper = false
+						}
+					}
+				}
+				return CellOut{Rows: [][]string{{
+					w.name, itoa(g.MaxDegree()), itoa(g.M()), itoa(pal),
+					itoa(st.Rounds), btoa(proper),
+				}}}
+			},
 		})
 	}
+	t.Rows = rowsOf(RunCells(opt, "E8", cells))
 	t.Notes = "rounds grow quasi-polylogarithmically in Δ; constants are large, as the paper's 42·θ·logΔ slack factors suggest"
 	return t
 }
@@ -121,30 +139,36 @@ func RunE9(opt Options) Table {
 		Claim:   "d-defective 3-coloring in O(Δ + log* n) rounds for d > (2Δ−3)/3 (§1.1, generalizing [BHL+19])",
 		Columns: []string{"graph", "n", "Δ", "d", "rounds", "valid"},
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 7))
 	sizes := []int{32, 256, 2048}
 	if opt.Quick {
 		sizes = []int{32, 256}
 	}
+	var cells []Cell
 	for _, n := range sizes {
 		for _, deg := range []int{2, 4} {
-			g := graph.RandomRegular(n, deg, rng)
-			d := graph.OrientByID(g)
-			base, q, _ := properBase(g)
-			// p = 1: slack needs 3(defect+1) > 3β ⇔ defect ≥ β.
-			defect := d.MaxBeta()
-			inst := coloring.ThreeColor(n, defect)
-			res, err := twosweep.Solve(d, inst, base, q, 1, sim.Config{})
-			if err != nil {
-				panic(err)
-			}
-			valid := coloring.ValidateOLDC(d, inst, res.Colors) == nil
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("regular(%d,%d)", n, deg), itoa(n), itoa(g.MaxDegree()),
-				itoa(defect), itoa(res.Stats.Rounds), btoa(valid),
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("regular(%d,%d)", n, deg),
+				Run: func(int64) CellOut {
+					g := opt.cachedGraph("regular", workload.Params{N: n, Degree: deg}, 0)
+					d := opt.orientID(g)
+					base, q, _ := opt.properBase(g)
+					// p = 1: slack needs 3(defect+1) > 3β ⇔ defect ≥ β.
+					defect := d.MaxBeta()
+					inst := coloring.ThreeColor(n, defect)
+					res, err := twosweep.Solve(d, inst, base, q, 1, sim.Config{})
+					if err != nil {
+						panic(err)
+					}
+					valid := coloring.ValidateOLDC(d, inst, res.Colors) == nil
+					return CellOut{Rows: [][]string{{
+						fmt.Sprintf("regular(%d,%d)", n, deg), itoa(n), itoa(g.MaxDegree()),
+						itoa(defect), itoa(res.Stats.Rounds), btoa(valid),
+					}}}
+				},
 			})
 		}
 	}
+	t.Rows = rowsOf(RunCells(opt, "E9", cells))
 	t.Notes = "rounds track q = O(Δ²) from the bootstrap, constant in n beyond the log* n bootstrap"
 	return t
 }
@@ -159,35 +183,44 @@ func RunE10(opt Options) Table {
 		Claim:   "O(β² + log* n) rounds via Two-Sweep with p = β+1 and zero defects (§1.1)",
 		Columns: []string{"graph", "β", "|L|=β²+β+1", "rounds", "proper"},
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 8))
-	type workload struct {
-		name string
-		g    *graph.Graph
+	type load struct {
+		name   string
+		family string
+		params workload.Params
 	}
-	loads := []workload{
-		{"tree(3,5)", graph.CompleteKaryTree(3, 5)},
-		{"grid(8,8)", graph.Grid(8, 8)},
-		{"regular(128,6)", graph.RandomRegular(128, 6, rng)},
+	loads := []load{
+		{"tree(3,5)", "tree", workload.Params{N: 121, Degree: 3}},
+		{"grid(8,8)", "grid", workload.Params{N: 64}},
+		{"regular(128,6)", "regular", workload.Params{N: 128, Degree: 6}},
 	}
 	if opt.Quick {
 		loads = loads[:2]
 	}
+	var cells []Cell
 	for _, w := range loads {
-		d := graph.OrientByDegeneracy(w.g)
-		beta := d.MaxBeta()
-		p := beta + 1
-		listSize := beta*beta + beta + 1
-		base, q, _ := properBase(w.g)
-		inst := coloring.Uniform(w.g.N(), 4*listSize+8, listSize, 0, rng)
-		res, err := twosweep.Solve(d, inst, base, q, p, sim.Config{})
-		if err != nil {
-			panic(err)
-		}
-		proper := coloring.ValidateProperList(w.g, inst, res.Colors) == nil
-		t.Rows = append(t.Rows, []string{
-			w.name, itoa(beta), itoa(listSize), itoa(res.Stats.Rounds), btoa(proper),
+		cells = append(cells, Cell{
+			Name: w.name,
+			Run: func(seed int64) CellOut {
+				rng := rand.New(rand.NewSource(seed))
+				g := opt.cachedGraph(w.family, w.params, 0)
+				d := opt.orientDegeneracy(g)
+				beta := d.MaxBeta()
+				p := beta + 1
+				listSize := beta*beta + beta + 1
+				base, q, _ := opt.properBase(g)
+				inst := coloring.Uniform(g.N(), 4*listSize+8, listSize, 0, rng)
+				res, err := twosweep.Solve(d, inst, base, q, p, sim.Config{})
+				if err != nil {
+					panic(err)
+				}
+				proper := coloring.ValidateProperList(g, inst, res.Colors) == nil
+				return CellOut{Rows: [][]string{{
+					w.name, itoa(beta), itoa(listSize), itoa(res.Stats.Rounds), btoa(proper),
+				}}}
+			},
 		})
 	}
+	t.Rows = rowsOf(RunCells(opt, "E10", cells))
 	t.Notes = "degeneracy orientations give small β even when Δ is larger (trees: β=1, grids: β=2)"
 	return t
 }
@@ -201,33 +234,43 @@ func RunE11(opt Options) Table {
 		Claim:   "T_A(2,C) ≤ O(μ²)·T_A(μ,C) + O(log* q) (Lemma 4.4)",
 		Columns: []string{"μ", "classes used", "rounds", "valid"},
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 9))
-	g := graph.Ring(64) // θ = 2
-	base, q, _ := properBase(g)
 	mus := []int{2, 4, 8}
 	if opt.Quick {
 		mus = mus[:2]
 	}
+	var cells []Cell
 	for _, mu := range mus {
-		inst := coloring.WithSlack(g, 64, float64(mu)+0.5, rng)
-		calls := 0
-		counting := func(g2 *graph.Graph, inst2 *coloring.Instance, base2 []int, q2 int) (coloring.ArbResult, sim.Result, error) {
-			calls++
-			return nbhood.ArbSlack2Solver(2, sim.Config{})(g2, inst2, base2, q2)
-		}
-		res, stats, err := nbhood.SlackReduce2(g, inst, base, q, mu, counting, sim.Config{})
-		if err != nil {
-			panic(err)
-		}
-		valid := coloring.ValidateListArbdefective(g, inst, res) == nil
-		t.Rows = append(t.Rows, []string{itoa(mu), itoa(calls), itoa(stats.Rounds), btoa(valid)})
+		cells = append(cells, Cell{
+			Name: fmt.Sprintf("mu%d", mu),
+			Run: func(seed int64) CellOut {
+				rng := rand.New(rand.NewSource(seed))
+				g := opt.cachedGraph("ring", workload.Params{N: 64}, 0) // θ = 2
+				base, q, _ := opt.properBase(g)
+				inst := coloring.WithSlack(g, 64, float64(mu)+0.5, rng)
+				calls := 0
+				counting := func(g2 *graph.Graph, inst2 *coloring.Instance, base2 []int, q2 int) (coloring.ArbResult, sim.Result, error) {
+					calls++
+					return nbhood.ArbSlack2Solver(2, sim.Config{})(g2, inst2, base2, q2)
+				}
+				res, st, err := nbhood.SlackReduce2(g, inst, base, q, mu, counting, sim.Config{})
+				if err != nil {
+					panic(err)
+				}
+				valid := coloring.ValidateListArbdefective(g, inst, res) == nil
+				return CellOut{Rows: [][]string{{itoa(mu), itoa(calls), itoa(st.Rounds), btoa(valid)}}}
+			},
+		})
 	}
+	t.Rows = rowsOf(RunCells(opt, "E11", cells))
 	t.Notes = "classes used is bounded by min(O(μ²), q); empty classes cost nothing"
 	return t
 }
 
 // RunE12 compares the paper's deterministic pipeline against the
-// classical baselines on identical (deg+1)-list workloads.
+// classical baselines on identical (deg+1)-list workloads: one shared
+// graph, one shared instance (derived from a seed fixed at the
+// experiment level so every algorithm cell reconstructs the identical
+// lists), three algorithm cells.
 func RunE12(opt Options) Table {
 	t := Table{
 		ID:      "E12",
@@ -235,36 +278,59 @@ func RunE12(opt Options) Table {
 		Claim:   "deterministic CONGEST coloring vs sequential greedy (quality) and randomized Luby (rounds)",
 		Columns: []string{"graph", "algorithm", "rounds", "colors used", "proper"},
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 10))
 	n, deg := 200, 6
 	if opt.Quick {
 		n = 80
 	}
-	g := graph.RandomRegular(n, deg, rng)
-	inst := coloring.DegreePlusOne(g, deg+1, rng)
 	name := fmt.Sprintf("regular(%d,%d)", n, deg)
-
-	greedy, err := baseline.GreedyList(g, inst)
-	if err != nil {
-		panic(err)
+	params := workload.Params{N: n, Degree: deg}
+	// All three cells regenerate the same instance from this
+	// experiment-level seed (cheap, deterministic, and cache-friendly:
+	// the graph itself is shared through the workload cache).
+	instSeed := CellSeed(opt.Seed, "E12/inst", 0)
+	sharedInst := func() (*graph.Graph, *coloring.Instance) {
+		g := opt.cachedGraph("regular", params, 0)
+		inst := opt.Cache.Derived(g, "inst:degplus1:E12", func() any {
+			return coloring.DegreePlusOne(g, deg+1, rand.New(rand.NewSource(instSeed)))
+		}).(*coloring.Instance)
+		return g, inst
 	}
-	t.Rows = append(t.Rows, []string{name, "greedy (sequential)", itoa(g.N()), itoa(graph.CountColors(greedy)),
-		btoa(coloring.ValidateProperList(g, inst, greedy) == nil)})
-
-	luby, lubyStats, err := baseline.Luby(g, opt.Seed, sim.Config{})
-	if err != nil {
-		panic(err)
+	cells := []Cell{
+		{Name: "greedy", Run: func(int64) CellOut {
+			g, inst := sharedInst()
+			greedy, err := baseline.GreedyList(g, inst)
+			if err != nil {
+				panic(err)
+			}
+			return CellOut{Rows: [][]string{{
+				name, "greedy (sequential)", itoa(g.N()), itoa(graph.CountColors(greedy)),
+				btoa(coloring.ValidateProperList(g, inst, greedy) == nil),
+			}}}
+		}},
+		{Name: "luby", Run: func(int64) CellOut {
+			g, _ := sharedInst()
+			luby, lubyStats, err := baseline.Luby(g, opt.Seed, sim.Config{})
+			if err != nil {
+				panic(err)
+			}
+			return CellOut{Rows: [][]string{{
+				name, "Luby (randomized)", itoa(lubyStats.Rounds), itoa(graph.CountColors(luby)),
+				btoa(graph.IsProperColoring(g, luby) == nil),
+			}}}
+		}},
+		{Name: "deterministic", Run: func(int64) CellOut {
+			g, inst := sharedInst()
+			det, err := solveDegPlusOne(g, inst)
+			if err != nil {
+				panic(err)
+			}
+			return CellOut{Rows: [][]string{{
+				name, "this paper (det. CONGEST)", itoa(det.Stats.Rounds), itoa(graph.CountColors(det.Colors)),
+				btoa(coloring.ValidateProperList(g, inst, det.Colors) == nil),
+			}}}
+		}},
 	}
-	t.Rows = append(t.Rows, []string{name, "Luby (randomized)", itoa(lubyStats.Rounds), itoa(graph.CountColors(luby)),
-		btoa(graph.IsProperColoring(g, luby) == nil)})
-
-	det, err := solveDegPlusOne(g, inst)
-	if err != nil {
-		panic(err)
-	}
-	t.Rows = append(t.Rows, []string{name, "this paper (det. CONGEST)", itoa(det.Stats.Rounds), itoa(graph.CountColors(det.Colors)),
-		btoa(coloring.ValidateProperList(g, inst, det.Colors) == nil)})
-
+	t.Rows = rowsOf(RunCells(opt, "E12", cells))
 	t.Notes = "sequential greedy is the quality yardstick (1 node/round); Luby is fast but randomized; the paper's pipeline is deterministic"
 	return t
 }

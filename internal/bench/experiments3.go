@@ -11,11 +11,14 @@ import (
 	"listcolor/internal/nbhood"
 	"listcolor/internal/sim"
 	"listcolor/internal/twosweep"
+	"listcolor/internal/workload"
 )
 
 // RunE13 measures the classical single-sweep and product constructions
 // the paper generalizes (its introduction's starting points), checking
-// their textbook guarantees.
+// their textbook guarantees. All six cells run over two shared graphs:
+// the sweep and product cells reuse one regular(100,8) build (and its
+// bootstrap), the Claim 4.1 cells one line-graph build.
 func RunE13(opt Options) Table {
 	t := Table{
 		ID:      "E13",
@@ -23,54 +26,72 @@ func RunE13(opt Options) Table {
 		Claim:   "single sweep: d-arbdefective with ⌈(Δ+1)/(d+1)⌉ colors [BE10]; two sweeps: ≤2⌊Δ/c⌋-defective with c² colors [BE09, BHL+19]; Claim 4.1 on bounded θ",
 		Columns: []string{"construction", "graph", "param", "colors", "worst defect", "bound", "ok"},
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 12))
-	g := graph.RandomRegular(100, 8, rng)
-	base, q, _ := properBase(g)
-
+	regParams := workload.Params{N: 100, Degree: 8}
+	lgParams := workload.Params{N: 20, Degree: 4}
+	var cells []Cell
 	for _, d := range []int{1, 3} {
-		colors, arcs, c, _, err := classic.SweepArb(g, base, q, d, sim.Config{})
-		if err != nil {
-			panic(err)
-		}
-		// Worst OUT-defect under the produced orientation.
-		outCount := make([]int, g.N())
-		for _, a := range arcs {
-			outCount[a[0]]++
-		}
-		worst := maxOf(outCount)
-		_ = colors
-		t.Rows = append(t.Rows, []string{
-			"single sweep (arb)", "regular(100,8)", fmt.Sprintf("d=%d", d),
-			itoa(c), itoa(worst), itoa(d), btoa(worst <= d),
+		cells = append(cells, Cell{
+			Name: fmt.Sprintf("sweep-d%d", d),
+			Run: func(int64) CellOut {
+				g := opt.cachedGraph("regular", regParams, 0)
+				base, q, _ := opt.properBase(g)
+				_, arcs, c, _, err := classic.SweepArb(g, base, q, d, sim.Config{})
+				if err != nil {
+					panic(err)
+				}
+				// Worst OUT-defect under the produced orientation.
+				outCount := make([]int, g.N())
+				for _, a := range arcs {
+					outCount[a[0]]++
+				}
+				worst := maxOf(outCount)
+				return CellOut{Rows: [][]string{{
+					"single sweep (arb)", "regular(100,8)", fmt.Sprintf("d=%d", d),
+					itoa(c), itoa(worst), itoa(d), btoa(worst <= d),
+				}}}
+			},
 		})
 	}
 	for _, c := range []int{2, 3} {
-		colors, _, err := classic.ProductDefective(g, base, q, c, sim.Config{})
-		if err != nil {
-			panic(err)
-		}
-		worst := maxOf(graph.MonochromaticDegree(g, colors))
-		bound := 2 * (g.RawMaxDegree() / c)
-		t.Rows = append(t.Rows, []string{
-			"two-sweep product", "regular(100,8)", fmt.Sprintf("c=%d", c),
-			itoa(c * c), itoa(worst), itoa(bound), btoa(worst <= bound),
+		cells = append(cells, Cell{
+			Name: fmt.Sprintf("product-c%d", c),
+			Run: func(int64) CellOut {
+				g := opt.cachedGraph("regular", regParams, 0)
+				base, q, _ := opt.properBase(g)
+				colors, _, err := classic.ProductDefective(g, base, q, c, sim.Config{})
+				if err != nil {
+					panic(err)
+				}
+				worst := maxOf(graph.MonochromaticDegree(g, colors))
+				bound := 2 * (g.RawMaxDegree() / c)
+				return CellOut{Rows: [][]string{{
+					"two-sweep product", "regular(100,8)", fmt.Sprintf("c=%d", c),
+					itoa(c * c), itoa(worst), itoa(bound), btoa(worst <= bound),
+				}}}
+			},
 		})
 	}
 	// Claim 4.1 on a line graph (θ ≤ 2).
-	lg, _ := graph.LineGraph(graph.RandomRegular(20, 4, rng))
-	baseL, qL, _ := properBase(lg)
 	for _, d := range []int{1, 2} {
-		colors, _, c, _, err := classic.SweepArb(lg, baseL, qL, d, sim.Config{})
-		if err != nil {
-			panic(err)
-		}
-		worst := maxOf(graph.MonochromaticDegree(lg, colors))
-		bound := (2*d + 1) * 2
-		t.Rows = append(t.Rows, []string{
-			"Claim 4.1 (θ=2)", "L(regular(20,4))", fmt.Sprintf("d=%d", d),
-			itoa(c), itoa(worst), itoa(bound), btoa(worst <= bound),
+		cells = append(cells, Cell{
+			Name: fmt.Sprintf("claim41-d%d", d),
+			Run: func(int64) CellOut {
+				lg := opt.cachedGraph("linegraph", lgParams, 0)
+				baseL, qL, _ := opt.properBase(lg)
+				colors, _, c, _, err := classic.SweepArb(lg, baseL, qL, d, sim.Config{})
+				if err != nil {
+					panic(err)
+				}
+				worst := maxOf(graph.MonochromaticDegree(lg, colors))
+				bound := (2*d + 1) * 2
+				return CellOut{Rows: [][]string{{
+					"Claim 4.1 (θ=2)", "L(regular(20,4))", fmt.Sprintf("d=%d", d),
+					itoa(c), itoa(worst), itoa(bound), btoa(worst <= bound),
+				}}}
+			},
 		})
 	}
+	t.Rows = rowsOf(RunCells(opt, "E13", cells))
 	t.Notes = "the paper's Algorithm 1 is the list generalization of exactly these constructions"
 	return t
 }
@@ -85,33 +106,39 @@ func RunE14(opt Options) Table {
 		Claim:   "Theorem 1.5's (θ·logΔ)^{O(loglogΔ)} beats the general Õ(C·logΔ) reduction when θ = O(1) — asymptotically; at laptop scales the 42·θ·logΔ constants can dominate",
 		Columns: []string{"sensors", "Δ", "θ≤5 rounds", "general rounds", "general/θ ratio", "both valid"},
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 13))
 	sizes := []int{80, 160, 240}
 	if opt.Quick {
 		sizes = sizes[:2]
 	}
+	var cells []Cell
 	for _, n := range sizes {
-		// Dense enough that the class subgraphs of the reductions keep
-		// internal edges — otherwise both routes collapse to the same
-		// edgeless fast path and the comparison is vacuous.
-		gg := graph.RandomGeometric(n, 0.35, rng)
-		g := gg.Graph
-		inst := coloring.DegreePlusOne(g, g.MaxDegree()+1, rng)
-		withTheta, err := nbhood.SolveArb(g, inst, 5, sim.Config{})
-		if err != nil {
-			panic(err)
-		}
-		general, err := nbhood.SolveArbGeneral(g, inst, sim.Config{})
-		if err != nil {
-			panic(err)
-		}
-		valid := coloring.ValidateProperList(g, inst, withTheta.Arb.Colors) == nil &&
-			coloring.ValidateProperList(g, inst, general.Arb.Colors) == nil
-		t.Rows = append(t.Rows, []string{
-			itoa(n), itoa(g.MaxDegree()), itoa(withTheta.Stats.Rounds), itoa(general.Stats.Rounds),
-			ftoa(float64(general.Stats.Rounds) / float64(withTheta.Stats.Rounds)), btoa(valid),
+		cells = append(cells, Cell{
+			Name: fmt.Sprintf("udg%d", n),
+			Run: func(seed int64) CellOut {
+				rng := rand.New(rand.NewSource(seed))
+				// Dense enough that the class subgraphs of the reductions keep
+				// internal edges — otherwise both routes collapse to the same
+				// edgeless fast path and the comparison is vacuous.
+				g := opt.cachedGraph("udg", workload.Params{N: n, Radius: 0.35}, 0)
+				inst := coloring.DegreePlusOne(g, g.MaxDegree()+1, rng)
+				withTheta, err := nbhood.SolveArb(g, inst, 5, sim.Config{})
+				if err != nil {
+					panic(err)
+				}
+				general, err := nbhood.SolveArbGeneral(g, inst, sim.Config{})
+				if err != nil {
+					panic(err)
+				}
+				valid := coloring.ValidateProperList(g, inst, withTheta.Arb.Colors) == nil &&
+					coloring.ValidateProperList(g, inst, general.Arb.Colors) == nil
+				return CellOut{Rows: [][]string{{
+					itoa(n), itoa(g.MaxDegree()), itoa(withTheta.Stats.Rounds), itoa(general.Stats.Rounds),
+					ftoa(float64(general.Stats.Rounds) / float64(withTheta.Stats.Rounds)), btoa(valid),
+				}}}
+			},
 		})
 	}
+	t.Rows = rowsOf(RunCells(opt, "E14", cells))
 	t.Notes = "unit-disk graphs have θ ≤ 5 structurally; both produce proper colorings. At laptop scales n < Δ², so the " +
 		"Linial bootstrap cannot compress below n, every defective class is a singleton, and BOTH pipelines degenerate to " +
 		"the same sweep-over-proper-classes fast path — the ratio 1.00 is itself the finding: the asymptotic separation " +
@@ -134,6 +161,7 @@ func maxOf(xs []int) int {
 // [MT20, FK23a]-style exhaustive subset search — and compares the
 // deterministic local-operation totals. Both produce valid OLDCs of
 // identical selection quality; only the internal computation differs.
+// Every p cell reuses the one shared regular(60,4) build.
 func RunE15(opt Options) Table {
 	t := Table{
 		ID:      "E15",
@@ -141,32 +169,39 @@ func RunE15(opt Options) Table {
 		Claim:   "the paper's algorithm is computationally much lighter than [MT20, FK23a] at equal output quality (§ Computational complexity)",
 		Columns: []string{"Λ=|L_v|", "p", "sort ops", "subset ops", "ratio", "both valid"},
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 14))
 	ps := []int{2, 3, 4}
 	if opt.Quick {
 		ps = ps[:2]
 	}
+	var cells []Cell
 	for _, p := range ps {
-		lambda := p * p
-		g := graph.RandomRegular(60, 4, rng)
-		d := graph.OrientByID(g)
-		base, q, _ := properBase(g)
-		inst := coloring.MinSlackOriented(d, 4*lambda+16, p, 0, rng)
-		sortRes, err := twosweep.SolveWithSelector(d, inst, base, q, p, twosweep.SortSelector, sim.Config{})
-		if err != nil {
-			panic(err)
-		}
-		subsetRes, err := twosweep.SolveWithSelector(d, inst, base, q, p, baseline.SubsetSelector, sim.Config{})
-		if err != nil {
-			panic(err)
-		}
-		valid := coloring.ValidateOLDC(d, inst, sortRes.Colors) == nil &&
-			coloring.ValidateOLDC(d, inst, subsetRes.Colors) == nil
-		t.Rows = append(t.Rows, []string{
-			itoa(lambda), itoa(p), itoa(int(sortRes.LocalOps)), itoa(int(subsetRes.LocalOps)),
-			ftoa(float64(subsetRes.LocalOps) / float64(sortRes.LocalOps)), btoa(valid),
+		cells = append(cells, Cell{
+			Name: fmt.Sprintf("p%d", p),
+			Run: func(seed int64) CellOut {
+				rng := rand.New(rand.NewSource(seed))
+				lambda := p * p
+				g := opt.cachedGraph("regular", workload.Params{N: 60, Degree: 4}, 0)
+				d := opt.orientID(g)
+				base, q, _ := opt.properBase(g)
+				inst := coloring.MinSlackOriented(d, 4*lambda+16, p, 0, rng)
+				sortRes, err := twosweep.SolveWithSelector(d, inst, base, q, p, twosweep.SortSelector, sim.Config{})
+				if err != nil {
+					panic(err)
+				}
+				subsetRes, err := twosweep.SolveWithSelector(d, inst, base, q, p, baseline.SubsetSelector, sim.Config{})
+				if err != nil {
+					panic(err)
+				}
+				valid := coloring.ValidateOLDC(d, inst, sortRes.Colors) == nil &&
+					coloring.ValidateOLDC(d, inst, subsetRes.Colors) == nil
+				return CellOut{Rows: [][]string{{
+					itoa(lambda), itoa(p), itoa(int(sortRes.LocalOps)), itoa(int(subsetRes.LocalOps)),
+					ftoa(float64(subsetRes.LocalOps) / float64(sortRes.LocalOps)), btoa(valid),
+				}}}
+			},
 		})
 	}
+	t.Rows = rowsOf(RunCells(opt, "E15", cells))
 	t.Notes = "operation counts are deterministic (comparisons/iterations, not wall time); the ratio grows exponentially in Λ"
 	return t
 }

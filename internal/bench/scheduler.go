@@ -1,0 +1,188 @@
+package bench
+
+// scheduler.go is the parallel sweep scheduler: every experiment is a
+// declarative list of self-contained Cells, and RunCells fans them out
+// across a bounded worker pool with results reassembled in declaration
+// order. Determinism contract: a cell's Run must be a pure function of
+// its seed (plus the Options-level constants it closes over) — no wall
+// clock, no shared mutable state, no dependence on execution order —
+// and its seed derives purely from (Options.Seed, experiment ID, cell
+// index) via splitmix64. Under that contract every table is
+// bit-identical for any worker count, which TestParallelDeterminism
+// and the CI parallel-vs-sequential diff enforce. Timing belongs in
+// the BENCH_*.json harness benches, never in table cells.
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"listcolor/internal/graph"
+	"listcolor/internal/workload"
+)
+
+// Cell is one self-contained sweep point of an experiment: typically
+// one graph generation plus one full simulator run, emitting one or
+// more table rows.
+type Cell struct {
+	// Name labels the cell in failures and traces.
+	Name string
+	// Run executes the cell under its derived seed.
+	Run func(seed int64) CellOut
+}
+
+// CellOut is what a cell produced: its rows, in the order they should
+// appear in the table, plus an optional (X, Y) sample for
+// experiment-level curve fitting (the power-law notes of E4/E5).
+type CellOut struct {
+	Rows [][]string
+	// X, Y is a fit sample; only read when HasPoint is set.
+	X, Y     float64
+	HasPoint bool
+}
+
+// splitmix64 is the SplitMix64 output function — the standard 64-bit
+// finalizer whose avalanche guarantees that adjacent cell indices and
+// experiment IDs land on statistically independent seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// CellSeed derives the seed of cell idx of the named experiment from
+// the harness seed. It is a pure function — bit-identical results
+// regardless of execution order or worker count depend on nothing
+// else — and it is part of the recorded-table contract: changing it
+// changes every table in EXPERIMENTS.md.
+func CellSeed(base int64, expID string, idx int) int64 {
+	x := splitmix64(uint64(base))
+	x = splitmix64(x ^ hash64(expID))
+	x = splitmix64(x ^ uint64(idx+1))
+	return int64(x)
+}
+
+// GraphSeed derives the generation seed of a cached family build
+// purely from the harness seed and the family's own parameters —
+// deliberately NOT from the experiment or cell — so any two cells, in
+// any experiments, that sweep the same (family, n, degree, …) point
+// converge on one shared graph in the workload cache. variant keeps
+// intentionally distinct graphs of the same shape apart (E2's
+// per-trial G(n,p) draws).
+func GraphSeed(base int64, family string, p workload.Params, variant int64) int64 {
+	x := splitmix64(uint64(base))
+	x = splitmix64(x ^ hash64(family))
+	x = splitmix64(x ^ uint64(p.N)<<32 ^ uint64(p.Degree))
+	x = splitmix64(x ^ uint64(int64(p.Prob*1e9)) ^ uint64(int64(p.Radius*1e9))<<16)
+	x = splitmix64(x ^ uint64(variant))
+	return int64(x)
+}
+
+// parallelism resolves the worker budget: 0 means GOMAXPROCS.
+func (opt Options) parallelism() int {
+	if opt.Parallel > 0 {
+		return opt.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shared returns opt with the cross-experiment resources (workload
+// cache, worker semaphore) populated, creating them when the caller
+// did not. All and Run call it once at the top so every cell of a
+// harness run draws from one pool and one cache.
+func (opt Options) shared() Options {
+	if opt.Cache == nil {
+		opt.Cache = workload.NewCache()
+	}
+	if opt.sem == nil {
+		opt.sem = make(chan struct{}, opt.parallelism())
+	}
+	return opt
+}
+
+// RunCells executes the experiment's cells and returns their outputs
+// in declaration order. With Parallel == 1 the cells run sequentially
+// on the calling goroutine — the exact legacy harness behavior. With
+// a larger budget each cell runs on its own goroutine, throttled by
+// the run-wide semaphore, so cell- and experiment-level parallelism
+// share one GOMAXPROCS-sized pool instead of multiplying.
+func RunCells(opt Options, expID string, cells []Cell) []CellOut {
+	out := make([]CellOut, len(cells))
+	if opt.parallelism() <= 1 || len(cells) <= 1 {
+		for i, c := range cells {
+			out[i] = c.Run(CellSeed(opt.Seed, expID, i))
+		}
+		return out
+	}
+	opt = opt.shared()
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opt.sem <- struct{}{}
+			defer func() { <-opt.sem }()
+			out[i] = cells[i].Run(CellSeed(opt.Seed, expID, i))
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// rowsOf flattens cell outputs into table rows, declaration order.
+func rowsOf(outs []CellOut) [][]string {
+	var rows [][]string
+	for _, o := range outs {
+		rows = append(rows, o.Rows...)
+	}
+	return rows
+}
+
+// pointsOf collects the fit samples of cell outputs, declaration
+// order.
+func pointsOf(outs []CellOut) (xs, ys []float64) {
+	for _, o := range outs {
+		if o.HasPoint {
+			xs = append(xs, o.X)
+			ys = append(ys, o.Y)
+		}
+	}
+	return xs, ys
+}
+
+// cachedGraph builds (or fetches) the shared family graph whose
+// generation seed depends only on (opt.Seed, family, params, variant).
+// Harness workloads are constructed to satisfy every family
+// precondition, so an error is a bug and panics like the other
+// harness helpers.
+func (opt Options) cachedGraph(family string, p workload.Params, variant int64) *graph.Graph {
+	p.Seed = GraphSeed(opt.Seed, family, p, variant)
+	g, err := opt.Cache.Build(family, p)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	return g
+}
+
+// orientID returns the shared OrientByID orientation of a cached
+// graph.
+func (opt Options) orientID(g *graph.Graph) *graph.Digraph {
+	return opt.Cache.Derived(g, "orient:id", func() any {
+		return graph.OrientByID(g)
+	}).(*graph.Digraph)
+}
+
+// orientDegeneracy returns the shared degeneracy orientation of a
+// cached graph.
+func (opt Options) orientDegeneracy(g *graph.Graph) *graph.Digraph {
+	return opt.Cache.Derived(g, "orient:degeneracy", func() any {
+		return graph.OrientByDegeneracy(g)
+	}).(*graph.Digraph)
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"listcolor/internal/workload"
+)
+
+// TestParallelDeterminism is the scheduler's core contract: every
+// experiment's rendered table is byte-identical whether its cells run
+// sequentially, under a small explicit budget, or at GOMAXPROCS.
+// Under -race this doubles as the scheduler+cache race test — all
+// cell goroutines share one workload cache and semaphore.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry determinism sweep skipped in -short mode")
+	}
+	budgets := []int{1, 4, 0} // 0 = GOMAXPROCS
+	for _, e := range Registry() {
+		var want string
+		for i, par := range budgets {
+			tb := e.Run(Options{Seed: 1, Quick: true, Parallel: par}.shared())
+			got := tb.Format()
+			if i == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: table bytes differ between Parallel=%d and Parallel=%d:\n--- sequential:\n%s--- parallel:\n%s",
+					e.ID, budgets[0], par, want, got)
+			}
+		}
+	}
+}
+
+// TestAllParallelDeterminism checks the experiment-level fan-out too:
+// bench.All at GOMAXPROCS workers returns the same tables in the same
+// order as the sequential harness.
+func TestAllParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke run skipped in -short mode")
+	}
+	seq := All(Options{Seed: 3, Quick: true, Parallel: 1})
+	par := All(Options{Seed: 3, Quick: true, Parallel: runtime.GOMAXPROCS(0) * 2})
+	if len(seq) != len(par) {
+		t.Fatalf("table counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Format() != par[i].Format() {
+			t.Errorf("table %d (%s) differs between sequential and parallel All", i, seq[i].ID)
+		}
+	}
+}
+
+// TestCellSeedStable pins the seed-derivation functions: they are part
+// of the recorded-table contract (EXPERIMENTS.md, the cmd/benchtab
+// goldens), so any change to splitmix64 chaining or parameter folding
+// must show up as a deliberate test update here.
+func TestCellSeedStable(t *testing.T) {
+	pins := []struct {
+		got, want int64
+	}{
+		{CellSeed(1, "E1", 0), 4644072591285112226},
+		{CellSeed(1, "E1", 1), 4856012308768706359},
+		{CellSeed(7, "E12/inst", 0), -7327678301847568121},
+		{GraphSeed(1, "regular", workload.Params{N: 64, Degree: 4}, 0), -619196745413253749},
+		{GraphSeed(1, "gnp", workload.Params{N: 80, Prob: 0.1}, 2), -3746133557592507418},
+	}
+	for i, p := range pins {
+		if p.got != p.want {
+			t.Errorf("pin %d: seed = %d, want %d (seed derivation changed — every recorded table shifts)", i, p.got, p.want)
+		}
+	}
+}
+
+// TestCellSeedDistinct spot-checks avalanche: nearby cell indices and
+// experiment ids must not collide.
+func TestCellSeedDistinct(t *testing.T) {
+	seen := map[int64]string{}
+	for _, id := range []string{"E1", "E2", "E10", "E12/inst"} {
+		for idx := 0; idx < 32; idx++ {
+			s := CellSeed(1, id, idx)
+			key := fmt.Sprintf("%s/%d", id, idx)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both derive %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+	if a, b := GraphSeed(1, "regular", workload.Params{N: 64, Degree: 4}, 0),
+		GraphSeed(1, "regular", workload.Params{N: 64, Degree: 4}, 1); a == b {
+		t.Error("variant does not separate graph seeds")
+	}
+	if a, b := GraphSeed(1, "regular", workload.Params{N: 64, Degree: 4}, 0),
+		GraphSeed(1, "regular", workload.Params{N: 64, Degree: 8}, 0); a == b {
+		t.Error("degree does not separate graph seeds")
+	}
+}
+
+// TestGraphSeedIgnoresParamSeed documents the cache-sharing rule: the
+// caller's incoming Params.Seed must not leak into GraphSeed, so two
+// experiments sweeping the same family point converge on one build.
+func TestGraphSeedIgnoresParamSeed(t *testing.T) {
+	p := workload.Params{N: 64, Degree: 4}
+	a := GraphSeed(1, "regular", p, 0)
+	p.Seed = 999
+	if b := GraphSeed(1, "regular", p, 0); a != b {
+		t.Error("GraphSeed depends on the incoming Params.Seed; cross-experiment sharing is broken")
+	}
+}
+
+// TestRunCellsOrderAndSeeds drives the scheduler directly: outputs
+// come back in declaration order with the declared per-index seeds,
+// regardless of worker budget, and the semaphore admits every cell.
+func TestRunCellsOrderAndSeeds(t *testing.T) {
+	const n = 64
+	for _, par := range []int{1, 3, 16} {
+		var ran atomic.Int64
+		cells := make([]Cell, n)
+		for i := range cells {
+			i := i
+			cells[i] = Cell{
+				Name: fmt.Sprintf("c%d", i),
+				Run: func(seed int64) CellOut {
+					ran.Add(1)
+					return CellOut{Rows: [][]string{{fmt.Sprintf("%d:%d", i, seed)}}}
+				},
+			}
+		}
+		outs := RunCells(Options{Seed: 5, Parallel: par}.shared(), "EX", cells)
+		if ran.Load() != n {
+			t.Fatalf("Parallel=%d: %d cells ran, want %d", par, ran.Load(), n)
+		}
+		for i, o := range outs {
+			want := fmt.Sprintf("%d:%d", i, CellSeed(5, "EX", i))
+			if len(o.Rows) != 1 || o.Rows[0][0] != want {
+				t.Errorf("Parallel=%d: out[%d] = %v, want row %q", par, i, o.Rows, want)
+			}
+		}
+	}
+}

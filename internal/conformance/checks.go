@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 
 	"listcolor/internal/baseline"
 	"listcolor/internal/coloring"
@@ -27,6 +29,20 @@ type Options struct {
 	// FaultMaxRounds caps fault-injected runs (drops can stall
 	// composed protocols); 0 means DefaultFaultMaxRounds.
 	FaultMaxRounds int
+	// Parallel is the matrix worker budget: the maximum number of
+	// cells checked concurrently. 0 means GOMAXPROCS; 1 runs the
+	// matrix sequentially in declaration order. Every cell is already
+	// seeded purely from (Seed, workload, solver) — see RunCell — so
+	// the result list is identical for every value.
+	Parallel int
+}
+
+// parallelism resolves the worker budget: 0 means GOMAXPROCS.
+func (opt Options) parallelism() int {
+	if opt.Parallel > 0 {
+		return opt.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultFaultMaxRounds bounds fault-injected runs: long enough for
@@ -223,9 +239,20 @@ func RunCell(env *Env, s Solver, opt Options) CellResult {
 	return res
 }
 
-// RunMatrix executes the full workload × solver matrix.
+// RunMatrix executes the full workload × solver matrix. Each
+// workload's environment is materialized exactly once and shared
+// read-only by its solver cells (Materialize normalizes the graph up
+// front so no lazy mutation survives into the fan-out). With a worker
+// budget above 1 the cells run concurrently under a bounded
+// semaphore; results always come back in declaration order, and each
+// cell's randomness derives purely from (Seed, workload, solver), so
+// the output is independent of scheduling.
 func RunMatrix(opt Options) ([]CellResult, error) {
-	var results []CellResult
+	type matrixCell struct {
+		env *Env
+		s   Solver
+	}
+	var cells []matrixCell
 	for _, w := range Matrix(opt.Heavy) {
 		if opt.WorkloadFilter != "" && !strings.Contains(w.Name, opt.WorkloadFilter) {
 			continue
@@ -238,9 +265,28 @@ func RunMatrix(opt Options) ([]CellResult, error) {
 			if opt.SolverFilter != "" && !strings.Contains(s.Name, opt.SolverFilter) {
 				continue
 			}
-			results = append(results, RunCell(env, s, opt))
+			cells = append(cells, matrixCell{env: env, s: s})
 		}
 	}
+	results := make([]CellResult, len(cells))
+	if opt.parallelism() <= 1 || len(cells) <= 1 {
+		for i, c := range cells {
+			results[i] = RunCell(c.env, c.s, opt)
+		}
+		return results, nil
+	}
+	sem := make(chan struct{}, opt.parallelism())
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = RunCell(cells[i].env, cells[i].s, opt)
+		}(i)
+	}
+	wg.Wait()
 	return results, nil
 }
 

@@ -65,7 +65,10 @@ type Env struct {
 }
 
 // Materialize builds the workload's graph and orientation with the
-// given base seed.
+// given base seed. The returned Env is shared read-only across the
+// workload's solver cells (concurrently, under RunMatrix's parallel
+// mode), so the graph is normalized here — later lazy Normalize calls
+// become pure reads of the sorted flag.
 func Materialize(w Workload, seed int64) (*Env, error) {
 	p := w.Params
 	p.Seed = seed ^ int64(hashString(w.Name))
@@ -73,6 +76,7 @@ func Materialize(w Workload, seed int64) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("conformance: workload %s: %w", w.Name, err)
 	}
+	g.Normalize()
 	var d *graph.Digraph
 	switch w.Orient {
 	case "", "id":

@@ -1,0 +1,42 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunMatrixParallelEquivalence pins RunMatrix's scheduling
+// contract: the result list — cell order, checks, failures, skip
+// reasons — is identical whether the matrix runs sequentially or with
+// its cells fanned out (each workload env shared read-only across its
+// solver cells). Under -race this is also the matrix's concurrency
+// test. Faults are on so the fault-injected driver-equivalence path
+// runs concurrently too.
+func TestRunMatrixParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix equivalence sweep skipped in -short mode")
+	}
+	opt := Options{Seed: 7, Faults: true}
+	opt.Parallel = 1
+	seq, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatalf("sequential matrix: %v", err)
+	}
+	opt.Parallel = 8
+	par, err := RunMatrix(opt)
+	if err != nil {
+		t.Fatalf("parallel matrix: %v", err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d sequential, %d parallel", len(seq), len(par))
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("cell %d (%s / %s) differs between sequential and parallel runs:\nseq: %+v\npar: %+v",
+				i, seq[i].Workload, seq[i].Solver, seq[i], par[i])
+		}
+	}
+	if FormatMatrix(seq) != FormatMatrix(par) {
+		t.Error("formatted matrices differ")
+	}
+}

@@ -295,6 +295,37 @@ func (g *Graph) Clone() *Graph {
 	return out
 }
 
+// Fingerprint returns a 64-bit FNV-1a hash of the graph's structure
+// (vertex count plus the CSR adjacency stream). Two graphs have equal
+// fingerprints iff they are byte-identical as labeled graphs, which is
+// what lets the workload cache's tests — and diagnostics over shared
+// read-only builds — assert that a reused graph really is the same
+// object-for-object structure a fresh generation would produce.
+func (g *Graph) Fingerprint() uint64 {
+	g.Normalize()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x int) {
+		u := uint64(x)
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime64
+			u >>= 8
+		}
+	}
+	mix(g.n)
+	for v := 0; v < g.n; v++ {
+		mix(len(g.adj[v]))
+		for _, w := range g.adj[v] {
+			mix(w)
+		}
+	}
+	return h
+}
+
 // Validate checks internal invariants (symmetry, simplicity) and
 // returns an error describing the first violation. It is used by tests
 // and by generators with nontrivial construction logic.

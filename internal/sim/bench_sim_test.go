@@ -112,3 +112,73 @@ func BenchmarkRoundThroughputPooledLists(b *testing.B) {
 		b.Fatalf("res.Rounds = %d, want b.N = %d", res.Rounds, b.N)
 	}
 }
+
+// staggeredNode finishes at its own fixed round, so a network of them
+// has a linearly shrinking active set — the shape of sweep and Linial
+// protocols, where most rounds run with a small active tail. The
+// benchmark exercises the workers driver's persistent active list:
+// per-round cost must track the live tail, not rescan all n nodes.
+type staggeredNode struct {
+	quit int
+	sink int
+}
+
+func (s *staggeredNode) Init(ctx *sim.Context) []sim.Outgoing { return nil }
+
+func (s *staggeredNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]sim.Outgoing, bool) {
+	for i := range inbox {
+		s.sink += inbox[i].From
+	}
+	return nil, round >= s.quit
+}
+
+func BenchmarkShrinkingActive(b *testing.B) {
+	g := graph.Ring(1024)
+	n := g.N()
+	for _, d := range []sim.Driver{sim.Lockstep, sim.Workers} {
+		d := d
+		b.Run(d.String(), func(b *testing.B) {
+			nw := sim.NewNetwork(g)
+			nodes := make([]sim.Node, n)
+			for v := 0; v < n; v++ {
+				// Node v quits at round ~(v+1)/n of the horizon; the last
+				// node holds out to exactly b.N so res.Rounds == b.N.
+				q := (v + 1) * b.N / n
+				if q < 1 {
+					q = 1
+				}
+				nodes[v] = &staggeredNode{quit: q}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := sim.Run(nw, nodes, sim.Config{Driver: d})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Rounds != b.N {
+				b.Fatalf("res.Rounds = %d, want b.N = %d", res.Rounds, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkBufferPoolContention hammers one shared pool from all Ps
+// with a mix of size classes — the workers-driver shape, where
+// concurrent nodes rent differently sized payload buffers each round.
+// Steady state must be allocation-free: every Get after warmup is a
+// pooled hit in its own class.
+func BenchmarkBufferPoolContention(b *testing.B) {
+	pool := &sim.BufferPool{}
+	sizes := []int{4, 16, 64, 256}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			buf := pool.Get(sizes[i%len(sizes)])
+			buf[0] = i
+			pool.Put(buf)
+			i++
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/bits"
 	"sync"
 
 	"listcolor/internal/logstar"
@@ -68,38 +69,64 @@ var _ Payload = IntsPayload{}
 // Put boxes the slice header on every call, which would put one
 // allocation per recycled payload back on the hot path the pool exists
 // to clear.
+//
+// Buffers are bucketed by power-of-two capacity class with one lock
+// per class, so Get is O(1) instead of a linear first-fit scan over
+// every pooled buffer, and concurrent renters of different sizes (the
+// workers driver's round fan-out) contend only within their own class.
 type BufferPool struct {
+	classes [poolClasses]bufferClass
+}
+
+// poolClasses covers every capacity a []int can have (cap is a
+// positive int, so ⌈log₂ cap⌉ ≤ 63): class c holds buffers with cap
+// in [2^c, 2^(c+1)).
+const poolClasses = 64
+
+type bufferClass struct {
 	mu   sync.Mutex
 	free [][]int
 }
 
-// Get returns a length-n buffer, reusing a pooled allocation when one
-// with sufficient capacity is available. Contents are unspecified.
-func (bp *BufferPool) Get(n int) []int {
-	bp.mu.Lock()
-	for i := len(bp.free) - 1; i >= 0; i-- {
-		if buf := bp.free[i]; cap(buf) >= n {
-			last := len(bp.free) - 1
-			bp.free[i] = bp.free[last]
-			bp.free[last] = nil
-			bp.free = bp.free[:last]
-			bp.mu.Unlock()
-			return buf[:n]
-		}
+// sizeClass returns the class whose every buffer can hold n values:
+// ceil(log₂ n), so 2^class ≥ n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
 	}
-	bp.mu.Unlock()
-	return make([]int, n)
+	return bits.Len(uint(n - 1))
 }
 
-// Put returns a buffer to the pool. The caller must not use buf (or
-// any payload still referencing it) afterwards.
+// Get returns a length-n buffer, reusing a pooled allocation when one
+// is available in n's size class. Contents are unspecified. A miss
+// allocates at the full class capacity so the buffer re-enters the
+// same class on Put regardless of n.
+func (bp *BufferPool) Get(n int) []int {
+	cls := &bp.classes[sizeClass(n)]
+	cls.mu.Lock()
+	if last := len(cls.free) - 1; last >= 0 {
+		buf := cls.free[last]
+		cls.free[last] = nil
+		cls.free = cls.free[:last]
+		cls.mu.Unlock()
+		return buf[:n]
+	}
+	cls.mu.Unlock()
+	return make([]int, n, 1<<sizeClass(n))
+}
+
+// Put returns a buffer to the pool, bucketed by its capacity's class
+// (⌊log₂ cap⌋, so the class invariant cap ≥ 2^class holds for any
+// caller-allocated buffer too). The caller must not use buf (or any
+// payload still referencing it) afterwards.
 func (bp *BufferPool) Put(buf []int) {
 	if cap(buf) == 0 {
 		return
 	}
-	bp.mu.Lock()
-	bp.free = append(bp.free, buf)
-	bp.mu.Unlock()
+	cls := &bp.classes[bits.Len(uint(cap(buf)))-1]
+	cls.mu.Lock()
+	cls.free = append(cls.free, buf)
+	cls.mu.Unlock()
 }
 
 // PairPayload carries two integers from (possibly different) domains,

@@ -331,7 +331,7 @@ func newInboxArena(g *graph.Graph) [][]Message {
 	boxes := make([][]Message, len(deg))
 	off := 0
 	for v, d := range deg {
-		boxes[v] = flat[off:off : off+d]
+		boxes[v] = flat[off : off : off+d]
 		off += d
 	}
 	return boxes

@@ -34,27 +34,27 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	done := make([]bool, n)
 	outs := make([][]Outgoing, n)
 	fins := make([]bool, n)
 	errs := make([]error, n)
-	active := make([]int, 0, n) // reused across rounds
-	remaining := n
-	for round := 1; remaining > 0; round++ {
+	// active holds the not-yet-finished node ids in ascending order; it
+	// starts as all nodes and is compacted stably in place during the
+	// routing pass of each round, so per-round cost tracks the shrinking
+	// active set instead of rescanning all n done flags (protocols with
+	// staggered termination — sweeps, Linial phases — spend most rounds
+	// with a small active tail).
+	active := make([]int, n)
+	for v := range active {
+		active[v] = v
+	}
+	for round := 1; len(active) > 0; round++ {
 		if round > cfg.MaxRounds {
 			return rt.res, fmt.Errorf("%w: %d", ErrRoundLimit, cfg.MaxRounds)
 		}
 		inboxes := rt.flush()
 		rt.round = round
 		prevMsgs, prevBits := rt.res.Messages, rt.res.TotalBits
-		// Collect the active node ids, then fan the Round calls out to
-		// the pool.
-		active = active[:0]
-		for v := 0; v < n; v++ {
-			if !done[v] {
-				active = append(active, v)
-			}
-		}
+		activeCount := len(active)
 		var wg sync.WaitGroup
 		chunk := (len(active) + workers - 1) / workers
 		for w := 0; w < workers; w++ {
@@ -77,6 +77,10 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 		wg.Wait()
 		// Route sequentially in id order for determinism; a panic is
 		// surfaced for the smallest failing id, like the other drivers.
+		// The same pass compacts active in place: keep reuses active's
+		// backing array and never outruns the read cursor, so the order
+		// stays ascending and no per-round allocation happens.
+		keep := active[:0]
 		for _, v := range active {
 			if errs[v] != nil {
 				return rt.res, errs[v]
@@ -85,16 +89,16 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 				return rt.res, fmt.Errorf("round %d, node %d: %w", round, v, err)
 			}
 			outs[v] = nil
-			if fins[v] {
-				done[v] = true
-				remaining--
+			if !fins[v] {
+				keep = append(keep, v)
 			}
 		}
+		active = keep
 		rt.res.Rounds = round
 		if cfg.OnRound != nil {
 			cfg.OnRound(RoundStats{
 				Round:       round,
-				ActiveNodes: len(active),
+				ActiveNodes: activeCount,
 				Messages:    rt.res.Messages - prevMsgs,
 				Bits:        rt.res.TotalBits - prevBits,
 				MaxBits:     rt.roundMax,

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"listcolor/internal/graph"
+)
+
+func TestCacheSharesBuilds(t *testing.T) {
+	c := NewCache()
+	p := Params{N: 64, Degree: 4, Seed: 7}
+	g1, err := c.Build("regular", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Build("regular", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("same key returned distinct graphs")
+	}
+	direct, err := Build("regular", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Fingerprint() != direct.Fingerprint() {
+		t.Error("cached build differs structurally from a direct build")
+	}
+	got := c.Counters()
+	if got.Hits != 1 || got.Misses != 1 {
+		t.Errorf("counters = %+v, want 1 hit / 1 miss", got)
+	}
+}
+
+func TestCacheKeysAreDistinct(t *testing.T) {
+	c := NewCache()
+	a, _ := c.Build("regular", Params{N: 64, Degree: 4, Seed: 1})
+	b, _ := c.Build("regular", Params{N: 64, Degree: 4, Seed: 2})
+	if a == b {
+		t.Error("different seeds must not share a build")
+	}
+	d, _ := c.Build("ring", Params{N: 64})
+	if d == a {
+		t.Error("different families must not share a build")
+	}
+	if got := c.Counters(); got.Misses != 3 || got.Hits != 0 {
+		t.Errorf("counters = %+v, want 3 misses / 0 hits", got)
+	}
+}
+
+func TestCacheBuildError(t *testing.T) {
+	c := NewCache()
+	if _, err := c.Build("nope", Params{N: 8}); err == nil {
+		t.Fatal("unknown family must error")
+	}
+	// The error is memoized like any build result.
+	if _, err := c.Build("nope", Params{N: 8}); err == nil {
+		t.Fatal("memoized error lost")
+	}
+}
+
+func TestCacheDerived(t *testing.T) {
+	c := NewCache()
+	g, err := c.Build("ring", Params{N: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	build := func() any {
+		calls++
+		return graph.OrientByID(g)
+	}
+	d1 := c.Derived(g, "orient:id", build).(*graph.Digraph)
+	d2 := c.Derived(g, "orient:id", build).(*graph.Digraph)
+	if d1 != d2 || calls != 1 {
+		t.Errorf("derived value not shared (calls=%d)", calls)
+	}
+	c.Derived(g, "orient:other", func() any { calls++; return nil })
+	if calls != 2 {
+		t.Errorf("distinct derived names must build separately (calls=%d)", calls)
+	}
+	got := c.Counters()
+	if got.DerivedHits != 1 || got.DerivedMisses != 2 {
+		t.Errorf("derived counters = %+v, want 1 hit / 2 misses", got)
+	}
+}
+
+func TestNilCacheFallsBack(t *testing.T) {
+	var c *Cache
+	g, err := c.Build("ring", Params{N: 8})
+	if err != nil || g == nil {
+		t.Fatalf("nil cache Build = (%v, %v)", g, err)
+	}
+	v := c.Derived(g, "x", func() any { return 42 })
+	if v != 42 {
+		t.Errorf("nil cache Derived = %v", v)
+	}
+	if got := c.Counters(); got != (Counters{}) {
+		t.Errorf("nil cache counters = %+v", got)
+	}
+	if c.Len() != 0 {
+		t.Errorf("nil cache Len = %d", c.Len())
+	}
+}
+
+// TestCacheConcurrent drives Build and Derived from many goroutines on
+// overlapping keys; under -race this is the cache's data-race check,
+// and the assertions pin single-generation semantics (every goroutine
+// sees one shared graph per key).
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	const workers = 16
+	keys := []Params{
+		{N: 48, Degree: 4, Seed: 1},
+		{N: 48, Degree: 4, Seed: 2},
+		{N: 96, Degree: 6, Seed: 1},
+	}
+	graphs := make([][]*graph.Graph, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, p := range keys {
+				g, err := c.Build("regular", p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				d := c.Derived(g, "orient:id", func() any { return graph.OrientByID(g) }).(*graph.Digraph)
+				if d.Underlying() != g {
+					t.Error("derived orientation bound to the wrong graph")
+				}
+				graphs[w] = append(graphs[w], g)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range keys {
+			if graphs[w][i] != graphs[0][i] {
+				t.Fatalf("worker %d key %d got a private graph", w, i)
+			}
+		}
+	}
+	got := c.Counters()
+	if got.Misses != int64(len(keys)) {
+		t.Errorf("misses = %d, want %d (one generation per key)", got.Misses, len(keys))
+	}
+	if got.Hits != int64(workers*len(keys)-len(keys)) {
+		t.Errorf("hits = %d, want %d", got.Hits, workers*len(keys)-len(keys))
+	}
+}
