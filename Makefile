@@ -41,6 +41,7 @@ fuzz:
 	$(GO) test -fuzz FuzzSolve -fuzztime 30s ./internal/twosweep
 	$(GO) test -fuzz FuzzSelectorEquivalence -fuzztime 15s ./internal/twosweep
 	$(GO) test -fuzz FuzzRouteEquivalence -fuzztime 15s ./internal/sim
+	$(GO) test -fuzz FuzzCorruptedPayloadDecode -fuzztime 15s ./internal/sim
 
 # Conformance matrix: CLI summary / heavy go-test tier (docs/TESTING.md).
 conform:

@@ -1,5 +1,5 @@
 // Command benchtab regenerates the experiment tables recorded in
-// EXPERIMENTS.md: one table per theorem-validation experiment (E1–E15;
+// EXPERIMENTS.md: one table per theorem-validation experiment (E1–E16;
 // see DESIGN.md's experiment index).
 //
 // Examples:

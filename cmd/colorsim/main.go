@@ -8,6 +8,7 @@
 //	colorsim -graph grid -n 64 -algo edgecolor
 //	colorsim -graph gnp -n 150 -prob 0.1 -algo csr -space 256
 //	colorsim -graph regular -n 100 -deg 6 -algo luby -congest 32
+//	colorsim -graph regular -n 64 -deg 6 -algo degplus1 -faults plan.json -repair
 package main
 
 import (
@@ -18,7 +19,9 @@ import (
 	"strings"
 
 	"listcolor"
+	"listcolor/internal/adversary"
 	"listcolor/internal/quality"
+	"listcolor/internal/repair"
 	"listcolor/internal/trace"
 	"listcolor/internal/workload"
 )
@@ -45,6 +48,8 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print an ASCII timeline of the run")
 		analyze   = flag.Bool("analyze", false, "print a quality report (degplus1, nbhood, greedy)")
 		spans     = flag.Int("spans", 0, "print the composition span tree to this depth (0 = off)")
+		faults    = flag.String("faults", "", "inject the fault plan from this adversary JSON file")
+		doRepair  = flag.Bool("repair", false, "run the self-healing repair layer over the (faulted) solve and report recovery")
 	)
 	flag.Parse()
 
@@ -90,8 +95,29 @@ func main() {
 		rootSpan = listcolor.NewSpan(*algo)
 		cfg.Span = rootSpan
 	}
+	var plan adversary.Plan
+	if *faults != "" {
+		data, err := os.ReadFile(*faults)
+		if err == nil {
+			plan, err = adversary.ParsePlan(data)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("faults: %d planned events (plan seed %d)\n", len(plan.Events), plan.Seed)
+		if rec != nil {
+			plan.Annotate(rec)
+		}
+		if !*doRepair {
+			// The repair path applies the plan itself (repair.Run
+			// compiles it into its solve config); the plain path
+			// installs the hooks here.
+			cfg = plan.Apply(cfg)
+		}
+	}
 	fmt.Printf("graph: %v\n", g)
-	if err := run(g, *algo, *p, *eps, *alpha, *space, *theta, *seed, *analyze, cfg); err != nil {
+	if err := run(g, *algo, *p, *eps, *alpha, *space, *theta, *seed, *analyze, plan, *doRepair, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "colorsim:", err)
 		os.Exit(1)
 	}
@@ -106,7 +132,10 @@ func main() {
 	}
 }
 
-func run(g *listcolor.Graph, algo string, p int, eps, alpha float64, space, theta int, seed int64, analyze bool, cfg listcolor.Config) error {
+func run(g *listcolor.Graph, algo string, p int, eps, alpha float64, space, theta int, seed int64, analyze bool, plan adversary.Plan, doRepair bool, cfg listcolor.Config) error {
+	if doRepair {
+		return runRepair(g, algo, p, eps, space, theta, seed, plan, cfg)
+	}
 	maybeAnalyze := func(inst *listcolor.Instance, colors []int) {
 		if !analyze {
 			return
@@ -244,6 +273,138 @@ func run(g *listcolor.Graph, algo string, p int, eps, alpha float64, space, thet
 		maybeAnalyze(inst, colors)
 	default:
 		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return nil
+}
+
+// runRepair routes the selected algorithm through the self-healing
+// layer: the whole pipeline (including any base-coloring stage) runs
+// under the fault plan, the damage is classified, and bounded local
+// repair drives the coloring back to validity. Only algorithms that
+// solve a list instance on the simulator can be repaired — the repair
+// loop re-enters conflicted nodes with their residual lists.
+func runRepair(g *listcolor.Graph, algo string, p int, eps float64, space, theta int, seed int64, plan adversary.Plan, cfg listcolor.Config) error {
+	addStats := func(dst *listcolor.Stats, s listcolor.Stats) {
+		dst.Rounds += s.Rounds
+		dst.Messages += s.Messages
+		dst.TotalBits += s.TotalBits
+		if s.MaxMessageBits > dst.MaxMessageBits {
+			dst.MaxMessageBits = s.MaxMessageBits
+		}
+	}
+	tgt := repair.Target{Name: algo, G: g}
+	switch algo {
+	case "twosweep", "fast":
+		d := listcolor.OrientByID(g)
+		if space == 0 {
+			space = 4*p*p + 16
+		}
+		e := eps
+		if algo == "twosweep" {
+			e = 0
+		}
+		inst := listcolor.NewMinSlackInstance(d, space, p, e, seed)
+		tgt.D = d
+		tgt.Inst = inst
+		tgt.Solve = func(c listcolor.Config) ([]int, listcolor.Stats, error) {
+			base, err := listcolor.LinialColor(g, c)
+			if err != nil {
+				return nil, base.Stats, err
+			}
+			var res listcolor.OLDCResult
+			if algo == "twosweep" {
+				res, err = listcolor.TwoSweep(d, inst, base.Colors, base.Palette, p, c)
+			} else {
+				res, err = listcolor.TwoSweepFast(d, inst, base.Colors, base.Palette, p, e, c)
+			}
+			addStats(&res.Stats, base.Stats)
+			return res.Colors, res.Stats, err
+		}
+	case "csr":
+		d := listcolor.OrientByID(g)
+		if space == 0 {
+			space = 256
+		}
+		inst := listcolor.NewSlackInstance(g, space, 3*math.Sqrt(float64(space))*2, seed)
+		tgt.D = d
+		tgt.Inst = inst
+		tgt.Solve = func(c listcolor.Config) ([]int, listcolor.Stats, error) {
+			base, err := listcolor.LinialColor(g, c)
+			if err != nil {
+				return nil, base.Stats, err
+			}
+			res, err := listcolor.ReduceColorSpace(d, inst, base.Colors, base.Palette, c)
+			addStats(&res.Stats, base.Stats)
+			return res.Colors, res.Stats, err
+		}
+	case "degplus1":
+		if space == 0 {
+			space = g.MaxDegree() + 1
+		}
+		inst := listcolor.NewDegreePlusOneInstance(g, space, seed)
+		tgt.Inst = inst
+		tgt.Solve = func(c listcolor.Config) ([]int, listcolor.Stats, error) {
+			res, err := listcolor.ColorDegPlusOne(g, inst, c)
+			return res.Colors, res.Stats, err
+		}
+	case "nbhood":
+		if space == 0 {
+			space = g.MaxDegree() + 1
+		}
+		inst := listcolor.NewDegreePlusOneInstance(g, space, seed)
+		tgt.Inst = inst
+		tgt.Solve = func(c listcolor.Config) ([]int, listcolor.Stats, error) {
+			res, err := listcolor.SolveNeighborhood(g, inst, theta, c)
+			return res.Result.Colors, res.Stats, err
+		}
+	case "luby":
+		// Full-palette lists: Luby's (Δ+1)-coloring is directly
+		// list-relative, so the damage report measures fault impact.
+		pal := g.RawMaxDegree() + 1
+		if space < pal {
+			space = pal
+		}
+		inst := listcolor.NewInstance(g.N(), space)
+		all := make([]int, pal)
+		for x := range all {
+			all[x] = x
+		}
+		zero := make([]int, pal)
+		for v := 0; v < g.N(); v++ {
+			inst.Lists[v] = all
+			inst.Defects[v] = zero
+		}
+		tgt.Inst = inst
+		tgt.Solve = func(c listcolor.Config) ([]int, listcolor.Stats, error) {
+			return listcolor.LubyColor(g, seed, c)
+		}
+	default:
+		return fmt.Errorf("-repair supports twosweep|fast|csr|degplus1|nbhood|luby, not %q", algo)
+	}
+	rep, err := repair.Run(tgt, plan, repair.Options{Base: cfg})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm: %s under %d-event fault plan, self-healing repair\n", algo, len(plan.Events))
+	s := rep.SolveStats
+	fmt.Printf("faulted solve: rounds=%d messages=%d bits=%d", s.Rounds, s.Messages, s.TotalBits)
+	if rep.SolveErr != nil {
+		fmt.Printf("  (error: %v)", rep.SolveErr)
+	}
+	fmt.Println()
+	if rep.UsedFallback {
+		fmt.Println("solver output unusable; repair started from the first-list-color baseline")
+	}
+	fmt.Printf("damage before repair: %d hard (%d uncolored), %d absorbed by defect budgets\n",
+		rep.Before.Hard, rep.Before.Uncolored, rep.Before.Absorbed)
+	fmt.Printf("repair: %d recovery rounds, %d messages, %d bits\n",
+		rep.RecoveryRounds, rep.RepairMessages, rep.RepairBits)
+	fmt.Printf("after repair: %d hard, %d absorbed, residual defect %d\n",
+		rep.After.Hard, rep.AbsorbedConflicts, rep.ResidualDefect)
+	if rep.Converged {
+		fmt.Println("validation: OK")
+	} else {
+		fmt.Println("VALIDATION FAILED: repair budget exhausted")
 	}
 	return nil
 }

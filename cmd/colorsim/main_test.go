@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"listcolor"
+	"listcolor/internal/adversary"
 	"listcolor/internal/workload"
 )
 
@@ -22,12 +23,34 @@ func TestRunAllAlgorithms(t *testing.T) {
 		"degplus1", "nbhood", "edgecolor", "luby", "greedy",
 	}
 	for _, algo := range algos {
-		if err := run(g, algo, 2, 1.0, 0.5, 0, 2, 1, true, listcolor.Config{}); err != nil {
+		if err := run(g, algo, 2, 1.0, 0.5, 0, 2, 1, true, adversary.Plan{}, false, listcolor.Config{}); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
-	if err := run(g, "nosuch", 2, 1.0, 0.5, 0, 2, 1, false, listcolor.Config{}); err == nil {
+	if err := run(g, "nosuch", 2, 1.0, 0.5, 0, 2, 1, false, adversary.Plan{}, false, listcolor.Config{}); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestRunRepairAllAlgorithms drives every -repair branch under a real
+// crash+corrupt plan: each must come back with a nil error (damage is
+// reported, never returned).
+func TestRunRepairAllAlgorithms(t *testing.T) {
+	g, err := workload.Build("regular", workload.Params{N: 24, Degree: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := adversary.Merge(
+		adversary.UniformCrash(g, 7, 0.10, 2, 2),
+		adversary.UniformCorrupt(7, 0.10, 1, 0),
+	)
+	for _, algo := range []string{"twosweep", "fast", "csr", "degplus1", "nbhood", "luby"} {
+		if err := run(g, algo, 2, 1.0, 0.5, 0, 2, 1, false, plan, true, listcolor.Config{MaxRounds: 400}); err != nil {
+			t.Errorf("repair %s: %v", algo, err)
+		}
+	}
+	if err := run(g, "edgecolor", 2, 1.0, 0.5, 0, 2, 1, false, plan, true, listcolor.Config{}); err == nil {
+		t.Error("-repair accepted an instance-free algorithm")
 	}
 }
 
@@ -62,10 +85,41 @@ func TestRunWithCongestCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A generous cap should pass; a 1-bit cap should fail.
-	if err := run(g, "linial", 2, 1.0, 0.5, 0, 2, 1, false, listcolor.Config{BandwidthBits: 64}); err != nil {
+	if err := run(g, "linial", 2, 1.0, 0.5, 0, 2, 1, false, adversary.Plan{}, false, listcolor.Config{BandwidthBits: 64}); err != nil {
 		t.Errorf("generous cap failed: %v", err)
 	}
-	if err := run(g, "linial", 2, 1.0, 0.5, 0, 2, 1, false, listcolor.Config{BandwidthBits: 1}); err == nil {
+	if err := run(g, "linial", 2, 1.0, 0.5, 0, 2, 1, false, adversary.Plan{}, false, listcolor.Config{BandwidthBits: 1}); err == nil {
 		t.Error("1-bit cap passed")
+	}
+}
+
+// TestFaultPlanFileRoundTrip exercises the -faults file format: the
+// plan the CLI writes to disk parses back bit-identically.
+func TestFaultPlanFileRoundTrip(t *testing.T) {
+	plan := adversary.Plan{
+		Seed: 42,
+		Events: []adversary.Event{
+			{Kind: adversary.CrashStop, Node: 3, Start: 2},
+			{Kind: adversary.Corrupt, From: -1, To: -1, Start: 1, Rate: 0.25},
+		},
+	}
+	data, err := plan.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := adversary.ParsePlan(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != plan.Seed || len(back.Events) != len(plan.Events) || back.Events[1].Rate != 0.25 {
+		t.Errorf("round trip mangled the plan: %+v", back)
 	}
 }

@@ -1,0 +1,362 @@
+// Package adversary builds deterministic, seed-derived fault plans for
+// the simulator: crash-stop and crash-recover node failures, link
+// failures (edge dead for a round range) and message corruption
+// (seeded bit-flips in the CONGEST payload). A Plan is pure data — it
+// round-trips through JSON — and compiles to the sim.Config fault
+// hooks (NodeDown, DropMessage, CorruptMessage) as pure functions of
+// (round, from, to), so a plan injects the identical fault schedule
+// under every driver and across reruns.
+//
+// Determinism discipline: every random choice (which nodes crash,
+// which deliveries corrupt, which bits flip) derives from the plan
+// seed via splitmix64 — the same discipline as bench.CellSeed — never
+// from global randomness or execution order.
+package adversary
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"listcolor/internal/sim"
+	"listcolor/internal/trace"
+)
+
+// Kind is the fault-event taxonomy.
+type Kind string
+
+const (
+	// CrashStop silences a node permanently from round Start on; its
+	// protocol state is frozen and it never sends again.
+	CrashStop Kind = "crash-stop"
+	// CrashRecover silences a node for rounds [Start, End], state
+	// preserved; it resumes in round End+1 (having missed the
+	// deliveries of its down window).
+	CrashRecover Kind = "crash-recover"
+	// LinkDown kills the undirected edge {From, To} for rounds
+	// [Start, End]: deliveries in both directions are dropped.
+	LinkDown Kind = "link-down"
+	// Corrupt flips seeded bits in the payloads delivered on matching
+	// edges during [Start, End]. From/To of -1 match any endpoint;
+	// Rate, when in (0,1), corrupts only that seeded fraction of
+	// matching deliveries.
+	Corrupt Kind = "corrupt"
+)
+
+// Event is one typed fault. Field use per kind:
+//
+//	CrashStop:    Node, Start          (End ignored; the crash is final)
+//	CrashRecover: Node, Start, End
+//	LinkDown:     From, To, Start, End
+//	Corrupt:      From, To (-1 = any), Start, End (0 = open), Rate
+type Event struct {
+	Kind  Kind    `json:"kind"`
+	Node  int     `json:"node"`
+	From  int     `json:"from"`
+	To    int     `json:"to"`
+	Start int     `json:"start"`
+	End   int     `json:"end"`
+	Rate  float64 `json:"rate,omitempty"`
+}
+
+// Plan is a complete fault schedule: a seed (driving every bit-flip
+// and rate draw) plus the event list. The zero Plan is the empty
+// (fault-free) schedule.
+type Plan struct {
+	Seed   int64   `json:"seed"`
+	Events []Event `json:"events"`
+}
+
+// splitmix64 is the standard 64-bit finalizer — the same mixing
+// discipline bench.CellSeed uses — so adjacent rounds, edges and
+// event indices land on statistically independent draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix derives the per-delivery draw for (round, from, to) from the
+// plan seed.
+func mix(seed int64, round, from, to int) uint64 {
+	x := splitmix64(uint64(seed))
+	x = splitmix64(x ^ uint64(round))
+	x = splitmix64(x ^ uint64(from)<<1)
+	return splitmix64(x ^ uint64(to)<<1 ^ 1)
+}
+
+// Validate rejects structurally broken plans: unknown kinds, negative
+// rounds, inverted windows, rates outside [0,1].
+func (p Plan) Validate() error {
+	for i, e := range p.Events {
+		switch e.Kind {
+		case CrashStop, CrashRecover, LinkDown, Corrupt:
+		default:
+			return fmt.Errorf("adversary: event %d: unknown kind %q", i, e.Kind)
+		}
+		if e.Start < 1 {
+			return fmt.Errorf("adversary: event %d (%s): start %d < 1 (round 0 is Init; faults begin at round 1)", i, e.Kind, e.Start)
+		}
+		if e.Kind == CrashRecover || e.Kind == LinkDown {
+			if e.End < e.Start {
+				return fmt.Errorf("adversary: event %d (%s): end %d < start %d", i, e.Kind, e.End, e.Start)
+			}
+		}
+		if e.Kind == Corrupt && e.End != 0 && e.End < e.Start {
+			return fmt.Errorf("adversary: event %d (%s): end %d < start %d", i, e.Kind, e.End, e.Start)
+		}
+		if e.Kind == CrashStop || e.Kind == CrashRecover {
+			if e.Node < 0 {
+				return fmt.Errorf("adversary: event %d (%s): negative node %d", i, e.Kind, e.Node)
+			}
+		}
+		if e.Kind == LinkDown && (e.From < 0 || e.To < 0) {
+			return fmt.Errorf("adversary: event %d (link-down): negative endpoint (%d,%d)", i, e.From, e.To)
+		}
+		if e.Rate < 0 || e.Rate > 1 {
+			return fmt.Errorf("adversary: event %d (%s): rate %v outside [0,1]", i, e.Kind, e.Rate)
+		}
+	}
+	return nil
+}
+
+// Merge concatenates plans into one; the first plan's seed wins (all
+// inputs of a merged schedule should share one seed anyway).
+func Merge(plans ...Plan) Plan {
+	var out Plan
+	for i, p := range plans {
+		if i == 0 {
+			out.Seed = p.Seed
+		}
+		out.Events = append(out.Events, p.Events...)
+	}
+	return out
+}
+
+// Hooks are the compiled sim.Config fault hooks of a plan. All three
+// are pure functions of their arguments (no captured mutable state),
+// so the same Hooks value can drive every driver and any number of
+// reruns.
+type Hooks struct {
+	NodeDown       func(round, v int) sim.NodeStatus
+	DropMessage    func(round, from, to int) bool
+	CorruptMessage func(round, from, to int, p sim.Payload) (sim.Payload, bool)
+}
+
+// Compile partitions the events by kind and returns the pure hook
+// functions. Hooks for kinds the plan never uses are nil, so an
+// empty plan compiles to the zero (fault-free) Hooks.
+func (p Plan) Compile() Hooks {
+	var crashes, links, corrupts []Event
+	maxNode := -1
+	for _, e := range p.Events {
+		switch e.Kind {
+		case CrashStop, CrashRecover:
+			crashes = append(crashes, e)
+			if e.Node > maxNode {
+				maxNode = e.Node
+			}
+		case LinkDown:
+			links = append(links, e)
+		case Corrupt:
+			corrupts = append(corrupts, e)
+		}
+	}
+	var h Hooks
+	if len(crashes) > 0 {
+		// Per-node event lists: crashAt is the earliest crash-stop
+		// round (math.MaxInt = never); windows the crash-recover spans.
+		crashAt := make([]int, maxNode+1)
+		for i := range crashAt {
+			crashAt[i] = math.MaxInt
+		}
+		windows := make([][][2]int, maxNode+1)
+		for _, e := range crashes {
+			if e.Kind == CrashStop {
+				if e.Start < crashAt[e.Node] {
+					crashAt[e.Node] = e.Start
+				}
+			} else {
+				windows[e.Node] = append(windows[e.Node], [2]int{e.Start, e.End})
+			}
+		}
+		h.NodeDown = func(round, v int) sim.NodeStatus {
+			if v >= len(crashAt) {
+				return sim.NodeUp
+			}
+			if round >= crashAt[v] {
+				return sim.NodeCrashed
+			}
+			for _, w := range windows[v] {
+				if round >= w[0] && round <= w[1] {
+					return sim.NodeDowned
+				}
+			}
+			return sim.NodeUp
+		}
+	}
+	if len(links) > 0 {
+		dead := links
+		h.DropMessage = func(round, from, to int) bool {
+			for _, e := range dead {
+				if round < e.Start || round > e.End {
+					continue
+				}
+				if (e.From == from && e.To == to) || (e.From == to && e.To == from) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if len(corrupts) > 0 {
+		seed := p.Seed
+		events := corrupts
+		h.CorruptMessage = func(round, from, to int, pay sim.Payload) (sim.Payload, bool) {
+			if pay == nil {
+				return nil, false
+			}
+			for i, e := range events {
+				if round < e.Start || (e.End != 0 && round > e.End) {
+					continue
+				}
+				if e.From >= 0 && e.From != from {
+					continue
+				}
+				if e.To >= 0 && e.To != to {
+					continue
+				}
+				draw := mix(seed+int64(i)*0x9e37, round, from, to)
+				if e.Rate > 0 && e.Rate < 1 {
+					if float64(draw>>11)/float64(1<<53) >= e.Rate {
+						continue
+					}
+				}
+				return corruptPayload(draw, pay), true
+			}
+			return pay, false
+		}
+	}
+	return h
+}
+
+// corruptPayload renders the payload's wire image and flips 1–3
+// seeded bits. Payload types without a canonical encoding (protocol-
+// private wrappers) get seeded pseudo-random bytes of the same wire
+// size — equally useless to the receiver, equally deterministic.
+func corruptPayload(draw uint64, p sim.Payload) sim.Corrupted {
+	bits := p.SizeBits()
+	data, ok := sim.EncodePayload(p)
+	if !ok {
+		n := (bits + 7) / 8
+		if n == 0 {
+			n = 1
+		}
+		data = make([]byte, n)
+		x := draw
+		for i := range data {
+			x = splitmix64(x)
+			data[i] = byte(x)
+		}
+		return sim.Corrupted{Data: data, Bits: bits}
+	}
+	buf := append([]byte(nil), data...) // never alias the sender's view
+	flips := 1 + int(draw%3)
+	x := draw
+	for i := 0; i < flips; i++ {
+		x = splitmix64(x)
+		pos := int(x % uint64(len(buf)*8))
+		buf[pos/8] ^= 1 << (pos % 8)
+	}
+	return sim.Corrupted{Data: buf, Bits: bits}
+}
+
+// Apply compiles the plan and installs its hooks into cfg, chaining
+// any hooks already present (existing DropMessage runs first; an
+// existing CorruptMessage corrupts only deliveries the plan left
+// alone; an existing NodeDown verdict wins when it is not NodeUp).
+func (p Plan) Apply(cfg sim.Config) sim.Config {
+	h := p.Compile()
+	if h.NodeDown != nil {
+		if prev := cfg.NodeDown; prev != nil {
+			next := h.NodeDown
+			cfg.NodeDown = func(round, v int) sim.NodeStatus {
+				if st := prev(round, v); st != sim.NodeUp {
+					return st
+				}
+				return next(round, v)
+			}
+		} else {
+			cfg.NodeDown = h.NodeDown
+		}
+	}
+	if h.DropMessage != nil {
+		if prev := cfg.DropMessage; prev != nil {
+			next := h.DropMessage
+			cfg.DropMessage = func(round, from, to int) bool {
+				return prev(round, from, to) || next(round, from, to)
+			}
+		} else {
+			cfg.DropMessage = h.DropMessage
+		}
+	}
+	if h.CorruptMessage != nil {
+		if prev := cfg.CorruptMessage; prev != nil {
+			next := h.CorruptMessage
+			cfg.CorruptMessage = func(round, from, to int, pay sim.Payload) (sim.Payload, bool) {
+				if p2, ok := next(round, from, to, pay); ok {
+					return p2, true
+				}
+				return prev(round, from, to, pay)
+			}
+		} else {
+			cfg.CorruptMessage = h.CorruptMessage
+		}
+	}
+	return cfg
+}
+
+// Annotate records every planned fault as a trace event, so a traced
+// run shows the injected faults next to the per-round statistics.
+func (p Plan) Annotate(rec *trace.Recorder) {
+	for _, e := range p.Events {
+		var detail string
+		switch e.Kind {
+		case CrashStop:
+			detail = fmt.Sprintf("node %d crashes", e.Node)
+		case CrashRecover:
+			detail = fmt.Sprintf("node %d down through round %d", e.Node, e.End)
+		case LinkDown:
+			detail = fmt.Sprintf("link {%d,%d} dead through round %d", e.From, e.To, e.End)
+		case Corrupt:
+			detail = fmt.Sprintf("corruption on %s (rate %.2f) through round %d", edgeLabel(e.From, e.To), e.Rate, e.End)
+		}
+		rec.Annotate(e.Start, string(e.Kind), detail)
+	}
+}
+
+func edgeLabel(from, to int) string {
+	if from < 0 && to < 0 {
+		return "all edges"
+	}
+	return fmt.Sprintf("{%d,%d}", from, to)
+}
+
+// Encode renders the plan as indented JSON (the cmd/colorsim -faults
+// file format).
+func (p Plan) Encode() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// ParsePlan parses and validates a JSON plan.
+func ParsePlan(data []byte) (Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, fmt.Errorf("adversary: parsing plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,315 @@
+package adversary
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"listcolor/internal/sim"
+	"listcolor/internal/trace"
+)
+
+func TestPlanValidate(t *testing.T) {
+	ok := func(events ...Event) Plan { return Plan{Seed: 1, Events: events} }
+	cases := []struct {
+		name string
+		plan Plan
+		want string // "" = valid; otherwise a substring of the error
+	}{
+		{"empty", Plan{}, ""},
+		{"crash stop", ok(Event{Kind: CrashStop, Node: 2, Start: 1}), ""},
+		{"crash recover", ok(Event{Kind: CrashRecover, Node: 0, Start: 2, End: 4}), ""},
+		{"link down", ok(Event{Kind: LinkDown, From: 0, To: 1, Start: 1, End: 1}), ""},
+		{"corrupt open-ended", ok(Event{Kind: Corrupt, From: -1, To: -1, Start: 1, Rate: 0.5}), ""},
+		{"unknown kind", ok(Event{Kind: "meteor", Node: 1, Start: 1}), "unknown kind"},
+		{"round zero", ok(Event{Kind: CrashStop, Node: 1, Start: 0}), "round 0 is Init"},
+		{"inverted window", ok(Event{Kind: CrashRecover, Node: 1, Start: 5, End: 3}), "end 3 < start 5"},
+		{"inverted corrupt", ok(Event{Kind: Corrupt, Start: 5, End: 3}), "end 3 < start 5"},
+		{"negative node", ok(Event{Kind: CrashStop, Node: -2, Start: 1}), "negative node"},
+		{"negative endpoint", ok(Event{Kind: LinkDown, From: -1, To: 2, Start: 1, End: 2}), "negative endpoint"},
+		{"rate too big", ok(Event{Kind: Corrupt, From: -1, To: -1, Start: 1, Rate: 1.5}), "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Plan{Seed: 7, Events: []Event{{Kind: CrashStop, Node: 1, Start: 2}}}
+	b := Plan{Seed: 99, Events: []Event{{Kind: Corrupt, From: -1, To: -1, Start: 1, Rate: 0.1}}}
+	m := Merge(a, b)
+	if m.Seed != 7 {
+		t.Errorf("Merge seed = %d, want the first plan's 7", m.Seed)
+	}
+	if len(m.Events) != 2 || m.Events[0].Kind != CrashStop || m.Events[1].Kind != Corrupt {
+		t.Errorf("Merge events = %+v", m.Events)
+	}
+}
+
+func TestCompileCrashSemantics(t *testing.T) {
+	p := Plan{Seed: 1, Events: []Event{
+		{Kind: CrashStop, Node: 2, Start: 3},
+		{Kind: CrashRecover, Node: 4, Start: 2, End: 4},
+	}}
+	h := p.Compile()
+	if h.DropMessage != nil || h.CorruptMessage != nil {
+		t.Fatal("plan without link/corrupt events must compile nil drop/corrupt hooks")
+	}
+	cases := []struct {
+		round, v int
+		want     sim.NodeStatus
+	}{
+		{1, 2, sim.NodeUp},
+		{2, 2, sim.NodeUp},
+		{3, 2, sim.NodeCrashed},
+		{100, 2, sim.NodeCrashed}, // crash-stop is final
+		{1, 4, sim.NodeUp},
+		{2, 4, sim.NodeDowned},
+		{4, 4, sim.NodeDowned},
+		{5, 4, sim.NodeUp},  // recovered
+		{3, 0, sim.NodeUp},  // untargeted node
+		{3, 99, sim.NodeUp}, // out of the event range
+	}
+	for _, tc := range cases {
+		if got := h.NodeDown(tc.round, tc.v); got != tc.want {
+			t.Errorf("NodeDown(%d, %d) = %v, want %v", tc.round, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestCompileLinkDown(t *testing.T) {
+	p := Plan{Events: []Event{{Kind: LinkDown, From: 1, To: 3, Start: 2, End: 4}}}
+	h := p.Compile()
+	if h.NodeDown != nil {
+		t.Fatal("link-only plan must compile nil NodeDown")
+	}
+	for round := 1; round <= 5; round++ {
+		inWindow := round >= 2 && round <= 4
+		if got := h.DropMessage(round, 1, 3); got != inWindow {
+			t.Errorf("round %d drop(1,3) = %v, want %v", round, got, inWindow)
+		}
+		// The undirected edge dies in both directions.
+		if got := h.DropMessage(round, 3, 1); got != inWindow {
+			t.Errorf("round %d drop(3,1) = %v, want %v", round, got, inWindow)
+		}
+		if h.DropMessage(round, 1, 2) {
+			t.Errorf("round %d: unrelated edge dropped", round)
+		}
+	}
+}
+
+func TestCompileCorruptDeterministic(t *testing.T) {
+	p := Plan{Seed: 1234, Events: []Event{{Kind: Corrupt, From: -1, To: -1, Start: 1}}}
+	h1 := p.Compile()
+	h2 := p.Compile()
+	payload := sim.IntPayload{Value: 5, Domain: 16}
+	c1, ok1 := h1.CorruptMessage(2, 0, 1, payload)
+	c2, ok2 := h2.CorruptMessage(2, 0, 1, payload)
+	if !ok1 || !ok2 {
+		t.Fatal("full-rate corrupt event must corrupt every matching delivery")
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Errorf("same plan, same delivery, different corruption: %#v vs %#v", c1, c2)
+	}
+	cr, isCorrupted := c1.(sim.Corrupted)
+	if !isCorrupted {
+		t.Fatalf("corrupted payload has type %T, want sim.Corrupted", c1)
+	}
+	if cr.Bits != payload.SizeBits() {
+		t.Errorf("corrupted Bits = %d, want the original %d", cr.Bits, payload.SizeBits())
+	}
+	orig, _ := sim.EncodePayload(payload)
+	if bytes.Equal(cr.Data, orig) {
+		t.Error("corruption flipped no bits")
+	}
+	// A different edge gets a different draw (and typically different bytes).
+	c3, _ := h1.CorruptMessage(2, 0, 2, payload)
+	if reflect.DeepEqual(c1, c3) {
+		t.Log("warning: two edges drew identical corruption (possible but unlikely)")
+	}
+}
+
+func TestCompileCorruptRateAndWindow(t *testing.T) {
+	p := Plan{Seed: 9, Events: []Event{{Kind: Corrupt, From: -1, To: -1, Start: 3, End: 5, Rate: 0.5}}}
+	h := p.Compile()
+	payload := sim.IntPayload{Value: 1, Domain: 4}
+	if _, ok := h.CorruptMessage(2, 0, 1, payload); ok {
+		t.Error("corruption fired before its window")
+	}
+	if _, ok := h.CorruptMessage(6, 0, 1, payload); ok {
+		t.Error("corruption fired after its window")
+	}
+	hits := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		if _, ok := h.CorruptMessage(4, i, i+1, payload); ok {
+			hits++
+		}
+	}
+	if hits < trials/4 || hits > trials*3/4 {
+		t.Errorf("rate 0.5 corrupted %d/%d deliveries", hits, trials)
+	}
+	// Pure function: the same delivery always draws the same verdict.
+	for i := 0; i < 20; i++ {
+		_, a := h.CorruptMessage(4, i, i+1, payload)
+		_, b := h.CorruptMessage(4, i, i+1, payload)
+		if a != b {
+			t.Fatalf("corrupt verdict for delivery %d not stable", i)
+		}
+	}
+}
+
+func TestCorruptWrapperPayloadGetsRandomBytes(t *testing.T) {
+	// Protocol-private payload types have no canonical encoding; the
+	// adversary substitutes seeded bytes of the same wire size.
+	type private struct{ sim.IntPayload }
+	p := Plan{Seed: 5, Events: []Event{{Kind: Corrupt, From: -1, To: -1, Start: 1}}}
+	h := p.Compile()
+	pay := private{sim.IntPayload{Value: 3, Domain: 256}}
+	got, ok := h.CorruptMessage(1, 0, 1, pay)
+	if !ok {
+		t.Fatal("wrapper payload not corrupted")
+	}
+	cr := got.(sim.Corrupted)
+	if cr.Bits != pay.SizeBits() {
+		t.Errorf("Bits = %d, want %d", cr.Bits, pay.SizeBits())
+	}
+	wantLen := (pay.SizeBits() + 7) / 8
+	if len(cr.Data) != wantLen {
+		t.Errorf("substitute data length %d, want %d", len(cr.Data), wantLen)
+	}
+	got2, _ := h.CorruptMessage(1, 0, 1, pay)
+	if !reflect.DeepEqual(got, got2) {
+		t.Error("substitute bytes not deterministic")
+	}
+}
+
+func TestApplyChainsExistingHooks(t *testing.T) {
+	plan := Plan{Seed: 3, Events: []Event{
+		{Kind: CrashStop, Node: 1, Start: 5},
+		{Kind: LinkDown, From: 0, To: 1, Start: 1, End: 1},
+	}}
+	base := sim.Config{
+		NodeDown: func(round, v int) sim.NodeStatus {
+			if v == 2 {
+				return sim.NodeDowned
+			}
+			return sim.NodeUp
+		},
+		DropMessage: func(round, from, to int) bool { return from == 9 },
+	}
+	cfg := plan.Apply(base)
+	// The pre-existing hook's non-Up verdict wins.
+	if got := cfg.NodeDown(1, 2); got != sim.NodeDowned {
+		t.Errorf("chained NodeDown(1,2) = %v, want prior NodeDowned", got)
+	}
+	// The plan's verdict applies where the prior hook says NodeUp.
+	if got := cfg.NodeDown(5, 1); got != sim.NodeCrashed {
+		t.Errorf("chained NodeDown(5,1) = %v, want plan's NodeCrashed", got)
+	}
+	// Drops are OR-ed.
+	if !cfg.DropMessage(3, 9, 0) {
+		t.Error("prior drop predicate lost in chaining")
+	}
+	if !cfg.DropMessage(1, 0, 1) {
+		t.Error("plan's link-down lost in chaining")
+	}
+	if cfg.DropMessage(2, 0, 1) {
+		t.Error("drop fired outside both predicates")
+	}
+	// An empty plan leaves the config untouched.
+	empty := Plan{}.Apply(sim.Config{})
+	if empty.NodeDown != nil || empty.DropMessage != nil || empty.CorruptMessage != nil {
+		t.Error("empty plan installed hooks")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	plan := Plan{Events: []Event{
+		{Kind: CrashStop, Node: 3, Start: 2},
+		{Kind: Corrupt, From: -1, To: -1, Start: 1, End: 4, Rate: 0.25},
+	}}
+	var rec trace.Recorder
+	plan.Annotate(&rec)
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("Annotate recorded %d events, want 2", len(evs))
+	}
+	if evs[0].Round != 2 || evs[0].Kind != string(CrashStop) || !strings.Contains(evs[0].Detail, "node 3") {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Kind != string(Corrupt) || !strings.Contains(evs[1].Detail, "all edges") {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+	out := rec.Timeline(40)
+	if !strings.Contains(out, "no rounds recorded") {
+		t.Errorf("timeline without rounds = %q", out)
+	}
+}
+
+// goldenPlan exercises every event kind and the JSON corner cases
+// (wildcard endpoints, open End, fractional rate).
+var goldenPlan = Plan{
+	Seed: 42,
+	Events: []Event{
+		{Kind: CrashStop, Node: 3, Start: 2},
+		{Kind: CrashRecover, Node: 5, Start: 2, End: 4},
+		{Kind: LinkDown, From: 0, To: 1, Start: 1, End: 3},
+		{Kind: Corrupt, From: -1, To: -1, Start: 1, End: 0, Rate: 0.25},
+	},
+}
+
+// TestPlanJSONGolden pins the -faults file format: Encode must produce
+// exactly the committed golden bytes, and ParsePlan must invert it.
+// Regenerate with: UPDATE_GOLDEN=1 go test ./internal/adversary -run Golden
+func TestPlanJSONGolden(t *testing.T) {
+	path := filepath.Join("testdata", "plan_golden.json")
+	got, err := goldenPlan.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updateGolden() {
+		if err := os.WriteFile(path, append(got, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(got, '\n'), want) {
+		t.Errorf("Encode drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	back, err := ParsePlan(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, goldenPlan) {
+		t.Errorf("ParsePlan(golden) = %+v, want %+v", back, goldenPlan)
+	}
+}
+
+func TestParsePlanRejectsBrokenInput(t *testing.T) {
+	if _, err := ParsePlan([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ParsePlan([]byte(`{"seed":1,"events":[{"kind":"meteor","start":1}]}`)); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+}
+
+func updateGolden() bool { return os.Getenv("UPDATE_GOLDEN") != "" }

@@ -126,7 +126,10 @@ func (l *lubyNode) propose() []sim.Outgoing {
 func (l *lubyNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]sim.Outgoing, bool) {
 	conflict := false
 	for _, m := range inbox {
-		p := m.Payload.(sim.PairPayload)
+		p, ok := m.Payload.(sim.PairPayload)
+		if !ok {
+			continue // corrupted in transit: treated as garbage/dropped
+		}
 		if p.B == 1 { // neighbor finalized this color
 			l.palette.Remove(p.A)
 			if p.A == l.proposal {

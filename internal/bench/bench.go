@@ -4,8 +4,9 @@
 // validates one theorem: it generates workloads, runs the
 // implementation on the LOCAL/CONGEST simulator, and reports the
 // measured rounds / message bits / quality next to the theorem's
-// asymptotic claim. DESIGN.md's experiment index maps the IDs E1–E15
-// to the theorems.
+// asymptotic claim. DESIGN.md's experiment index maps the IDs E1–E16
+// to the theorems (E16 covers the fault/repair subsystem rather than
+// a single theorem).
 package bench
 
 import (
@@ -153,6 +154,7 @@ func buildRegistry() {
 		{ID: "E13", Title: "Classical single-sweep / product constructions and Claim 4.1", Run: RunE13},
 		{ID: "E14", Title: "Bounded-θ recursion vs general solver on unit-disk graphs", Run: RunE14},
 		{ID: "E15", Title: "End-to-end local computation: sort vs subset-search selection", Run: RunE15},
+		{ID: "E16", Title: "Fault recovery: repair rounds and residual defect vs fault rate", Run: RunE16},
 	}
 	// Parse each numeric key exactly once, then sort on the ints:
 	// E1 < E2 < ... < E10 < E11 < E12 numerically.

@@ -7,8 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(reg))
+	if len(reg) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(reg))
 	}
 	for i, e := range reg {
 		want := i + 1
@@ -32,7 +32,7 @@ func TestAllQuick(t *testing.T) {
 		t.Skip("bench smoke run skipped in -short mode")
 	}
 	tables := All(Options{Seed: 1, Quick: true})
-	if len(tables) != 15 {
+	if len(tables) != 16 {
 		t.Fatalf("got %d tables", len(tables))
 	}
 	for _, tb := range tables {

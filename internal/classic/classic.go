@@ -77,7 +77,9 @@ func (s *sweepArbNode) Init(ctx *sim.Context) []sim.Outgoing { return nil }
 
 func (s *sweepArbNode) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]sim.Outgoing, bool) {
 	for _, m := range inbox {
-		s.counts.Add(m.Payload.(sim.IntPayload).Value)
+		if p, ok := m.Payload.(sim.IntPayload); ok {
+			s.counts.Add(p.Value) // corrupted payloads fail the assertion and are ignored
+		}
 	}
 	if round != s.init+1 {
 		return nil, false

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"listcolor/internal/adversary"
 	"listcolor/internal/baseline"
 	"listcolor/internal/coloring"
 	"listcolor/internal/quality"
@@ -91,6 +92,24 @@ func dropFn(seed int64) func(round, from, to int) bool {
 	}
 }
 
+// faultPlans is the adversary matrix every non-sequential cell must
+// survive bit-identically on all drivers: one plan per fault type,
+// derived deterministically from (workload graph, seed).
+func faultPlans(env *Env, seed int64) []struct {
+	name string
+	plan adversary.Plan
+} {
+	return []struct {
+		name string
+		plan adversary.Plan
+	}{
+		{"crash-stop", adversary.UniformCrash(env.G, seed+101, 0.10, 2, 2)},
+		{"crash-recover", adversary.CrashRecoverWindows(env.G, seed+102, 0.15, 2, 3)},
+		{"partition", adversary.PartitionLinks(env.G, 2, 4)},
+		{"corrupt", adversary.UniformCorrupt(seed+103, 0.15, 1, 0)},
+	}
+}
+
 // diffFingerprints summarizes how two outputs diverge, for failure
 // messages.
 func diffFingerprints(a, b []byte) string {
@@ -163,6 +182,22 @@ func RunCell(env *Env, s Solver, opt Options) CellResult {
 				if fp := Fingerprint(out); !bytes.Equal(fp, faultFP) {
 					res.Failures = append(res.Failures,
 						fmt.Sprintf("driver %v diverges from lockstep under fault injection: %s", d, diffFingerprints(faultFP, fp)))
+				}
+			}
+			// Adversary plan matrix: one plan per fault type, every
+			// driver bit-identical under each. Whatever damage a plan
+			// does — stalls into the round limit included — it must do
+			// identically everywhere.
+			for _, fp := range faultPlans(env, opt.Seed) {
+				cfg := fp.plan.Apply(sim.Config{MaxRounds: maxRounds})
+				planRef := s.Run(c, cfg.WithDriver(sim.Lockstep))
+				planFP := Fingerprint(planRef)
+				for _, d := range sim.AllDrivers()[1:] {
+					out := s.Run(c, cfg.WithDriver(d))
+					if got := Fingerprint(out); !bytes.Equal(got, planFP) {
+						res.Failures = append(res.Failures,
+							fmt.Sprintf("driver %v diverges from lockstep under %s plan: %s", d, fp.name, diffFingerprints(planFP, got)))
+					}
 				}
 			}
 		}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Corrupted is a payload damaged in transit: the adversary layer
+// replaces a delivery's payload with one of these via
+// Config.CorruptMessage. Receivers see raw bytes — a protocol's type
+// assertion or type switch on the expected payload type fails, so a
+// well-formed protocol treats the message as garbage (equivalent to a
+// drop) rather than panicking.
+//
+// Bits preserves the original payload's wire size, so CONGEST
+// accounting (which bills the sent payload) and any size-dependent
+// receiver logic see the same number either way.
+type Corrupted struct {
+	Data []byte
+	Bits int
+}
+
+// SizeBits implements Payload.
+func (c Corrupted) SizeBits() int { return c.Bits }
+
+var _ Payload = Corrupted{}
+
+// ErrDecode wraps payload decoding failures: corrupted or truncated
+// bytes decode to an error, never a panic.
+var ErrDecode = errors.New("sim: payload decode failed")
+
+// Wire-format tags of EncodePayload.
+const (
+	tagInt  = 1
+	tagInts = 2
+	tagPair = 3
+)
+
+// EncodePayload renders one of the engine's standard payload types
+// (IntPayload, IntsPayload, PairPayload) into a canonical byte string
+// — a tag byte followed by varints — so the adversary can perform real
+// bit-flips on the wire image. Protocol-private wrapper types return
+// ok=false; the adversary substitutes seeded pseudo-random bytes of
+// the same wire size for those.
+func EncodePayload(p Payload) ([]byte, bool) {
+	switch q := p.(type) {
+	case IntPayload:
+		buf := []byte{tagInt}
+		buf = binary.AppendVarint(buf, int64(q.Value))
+		buf = binary.AppendUvarint(buf, uint64(q.Domain))
+		return buf, true
+	case IntsPayload:
+		buf := []byte{tagInts}
+		buf = binary.AppendUvarint(buf, uint64(len(q.Values)))
+		for _, v := range q.Values {
+			buf = binary.AppendVarint(buf, int64(v))
+		}
+		buf = binary.AppendUvarint(buf, uint64(q.Domain))
+		buf = binary.AppendUvarint(buf, uint64(q.MaxLen))
+		return buf, true
+	case PairPayload:
+		buf := []byte{tagPair}
+		buf = binary.AppendVarint(buf, int64(q.A))
+		buf = binary.AppendVarint(buf, int64(q.B))
+		buf = binary.AppendUvarint(buf, uint64(q.DomainA))
+		buf = binary.AppendUvarint(buf, uint64(q.DomainB))
+		return buf, true
+	default:
+		return nil, false
+	}
+}
+
+// DecodePayload parses bytes produced by EncodePayload back into a
+// payload value. Arbitrary (corrupted) input yields an error — never a
+// panic and never an unbounded allocation: list lengths are checked
+// against the remaining input before any buffer is sized.
+func DecodePayload(data []byte) (Payload, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrDecode)
+	}
+	rest := data[1:]
+	readVarint := func() (int64, error) {
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: bad varint", ErrDecode)
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: bad uvarint", ErrDecode)
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	var out Payload
+	switch data[0] {
+	case tagInt:
+		v, err := readVarint()
+		if err != nil {
+			return nil, err
+		}
+		d, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out = IntPayload{Value: int(v), Domain: int(d)}
+	case tagInts:
+		n, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Every value costs ≥ 1 byte, so a length beyond the remaining
+		// input is corrupt — reject before allocating.
+		if n > uint64(len(rest)) {
+			return nil, fmt.Errorf("%w: list length %d exceeds input", ErrDecode, n)
+		}
+		values := make([]int, n)
+		for i := range values {
+			v, err := readVarint()
+			if err != nil {
+				return nil, err
+			}
+			values[i] = int(v)
+		}
+		d, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		m, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out = IntsPayload{Values: values, Domain: int(d), MaxLen: int(m)}
+	case tagPair:
+		a, err := readVarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := readVarint()
+		if err != nil {
+			return nil, err
+		}
+		da, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		db, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out = PairPayload{A: int(a), B: int(b), DomainA: int(da), DomainB: int(db)}
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrDecode, data[0])
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrDecode, len(rest))
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payloads := []Payload{
+		IntPayload{Value: 0, Domain: 1},
+		IntPayload{Value: 42, Domain: 64},
+		IntPayload{Value: -7, Domain: 100}, // sentinel values are legal on the wire
+		IntsPayload{Values: nil, Domain: 8, MaxLen: 4},
+		IntsPayload{Values: []int{1, 2, 3}, Domain: 8, MaxLen: 4},
+		IntsPayload{Values: []int{0, -1, 1 << 20}, Domain: 1 << 21, MaxLen: 8},
+		PairPayload{A: 3, B: 5, DomainA: 10, DomainB: 12},
+		PairPayload{A: -1, B: 0, DomainA: 2, DomainB: 2},
+	}
+	for _, p := range payloads {
+		data, ok := EncodePayload(p)
+		if !ok {
+			t.Fatalf("EncodePayload(%#v) not encodable", p)
+		}
+		got, err := DecodePayload(data)
+		if err != nil {
+			t.Fatalf("DecodePayload(%#v bytes): %v", p, err)
+		}
+		want := p
+		// nil and empty slices are wire-identical; normalize.
+		if ip, isInts := want.(IntsPayload); isInts && ip.Values == nil {
+			ip.Values = []int{}
+			want = ip
+		}
+		if gp, isInts := got.(IntsPayload); isInts && gp.Values == nil {
+			gp.Values = []int{}
+			got = gp
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %#v, want %#v", got, want)
+		}
+	}
+}
+
+func TestEncodePayloadRejectsPrivateTypes(t *testing.T) {
+	if _, ok := EncodePayload(Corrupted{Data: []byte{1}, Bits: 8}); ok {
+		t.Error("Corrupted must not be canonically encodable")
+	}
+	type wrapper struct{ IntPayload }
+	if _, ok := EncodePayload(wrapper{IntPayload{Value: 1, Domain: 2}}); ok {
+		t.Error("protocol-private wrapper types must not be encodable")
+	}
+}
+
+func TestDecodePayloadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"unknown tag", []byte{0x7f}},
+		{"tag only", []byte{tagInt}},
+		{"truncated varint", []byte{tagInt, 0x80}},
+		{"missing domain", append([]byte{tagInt}, 0x04)},
+		{"ints length exceeds input", []byte{tagInts, 0xff, 0xff, 0xff, 0xff, 0x0f}},
+		{"pair truncated", []byte{tagPair, 0x02, 0x04}},
+		{"trailing bytes", append(mustEncode(IntPayload{Value: 1, Domain: 2}), 0x00)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := DecodePayload(tc.data)
+			if err == nil {
+				t.Fatalf("DecodePayload(%x) = %#v, want error", tc.data, p)
+			}
+			if !errors.Is(err, ErrDecode) {
+				t.Fatalf("err = %v, not wrapping ErrDecode", err)
+			}
+		})
+	}
+}
+
+func mustEncode(p Payload) []byte {
+	data, ok := EncodePayload(p)
+	if !ok {
+		panic("mustEncode: not encodable")
+	}
+	return data
+}
+
+func TestCorruptedSizeBits(t *testing.T) {
+	c := Corrupted{Data: []byte{1, 2, 3}, Bits: 17}
+	if c.SizeBits() != 17 {
+		t.Errorf("SizeBits = %d, want the original wire size 17", c.SizeBits())
+	}
+}

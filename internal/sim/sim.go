@@ -94,6 +94,28 @@ const (
 	Workers
 )
 
+// NodeStatus is the verdict of the NodeDown fault hook for one node in
+// one round.
+type NodeStatus int
+
+const (
+	// NodeUp is the zero value: the node executes the round normally.
+	NodeUp NodeStatus = iota
+	// NodeDowned skips the node's Round call for this round only. Its
+	// state is preserved and the node stays in the run (crash-recover
+	// semantics), but the messages delivered to it this round are lost
+	// — inboxes live for exactly one round — and it sends nothing.
+	NodeDowned
+	// NodeCrashed terminates the node permanently (crash-stop): it is
+	// marked done without a final Round call, never consulted again,
+	// and sends nothing from this round on. Messages it routed in the
+	// previous round are still delivered — the crash takes effect at
+	// the start of its round. Neighbors waiting on a crashed node's
+	// messages stall until MaxRounds, which surfaces as a
+	// deterministic ErrRoundLimit under every driver.
+	NodeCrashed
+)
+
 // Config controls an engine run. The zero value means: Lockstep
 // driver, unlimited bandwidth (LOCAL model), and a default round limit.
 type Config struct {
@@ -112,12 +134,63 @@ type Config struct {
 	// sent by from to to in the given round is silently discarded when
 	// it returns true. The paper's model assumes reliable links, so
 	// algorithms are NOT expected to survive drops — this exists so
-	// tests can prove the validators catch the resulting damage.
+	// tests and the adversary layer can prove the validators and the
+	// repair layer catch the resulting damage.
+	//
+	// Call-count contract (all hooks): invoked exactly once per edge
+	// delivery of a sent message — a broadcast consults it once per
+	// receiving neighbor — in ascending sender id, send order within a
+	// sender, always from the routing goroutine. The schedule is
+	// identical under every driver, so a deterministic predicate sees
+	// the identical call sequence regardless of driver; predicates
+	// should still be pure functions of (round, from, to) so that
+	// reruns (driver-equivalence checks) see the same faults.
 	DropMessage func(round, from, to int) bool
+	// CorruptMessage, if non-nil, may replace the payload of a
+	// delivery: returning (p2, true) delivers p2 instead of p.
+	// It is consulted exactly once per NON-dropped edge delivery
+	// (after DropMessage, same ordering contract), from the routing
+	// goroutine. Accounting is untouched by corruption: the bits
+	// billed and the bandwidth cap are properties of the sent payload,
+	// so a corrupted message still bills its full original size.
+	// The adversary package uses this with the Corrupted payload type
+	// to model in-flight bit-flips.
+	CorruptMessage func(round, from, to int, p Payload) (Payload, bool)
+	// NodeDown, if non-nil, decides per (round, node) whether the node
+	// executes. It is consulted exactly once per round for every node
+	// that has not yet terminated (done or crashed), in ascending node
+	// id, from the coordinating goroutine, for rounds ≥ 1 (Init always
+	// executes; fault plans start at round 1). Down and crashed nodes
+	// are excluded from that round's ActiveNodes and bill nothing,
+	// but deliveries addressed to them are still billed — a sender
+	// cannot observe the receiver's failure.
+	NodeDown func(round, v int) NodeStatus
 	// Span, if non-nil, collects the composition structure of composed
 	// algorithms: orchestrators attach a child span per sub-step. The
 	// engine itself ignores it.
 	Span *Span
+}
+
+// ErrConfig is returned (wrapped) by Config.Validate and Run for
+// nonsensical configurations.
+var ErrConfig = errors.New("sim: invalid config")
+
+// Validate rejects nonsensical configurations before a run starts:
+// negative bandwidth or round limits and unknown drivers error here,
+// at Run entry, instead of silently misbehaving mid-run.
+func (c Config) Validate() error {
+	if c.BandwidthBits < 0 {
+		return fmt.Errorf("%w: negative BandwidthBits %d", ErrConfig, c.BandwidthBits)
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("%w: negative MaxRounds %d", ErrConfig, c.MaxRounds)
+	}
+	switch c.Driver {
+	case 0, Lockstep, Goroutines, Workers:
+	default:
+		return fmt.Errorf("%w: unknown driver %d", ErrConfig, c.Driver)
+	}
+	return nil
 }
 
 // DefaultMaxRounds is the round limit used when Config.MaxRounds is 0.
@@ -268,6 +341,9 @@ func Run(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	if len(nodes) != nw.N() {
 		return Result{}, fmt.Errorf("sim: %d nodes for %d vertices", len(nodes), nw.N())
 	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	if cfg.Driver == 0 {
 		cfg.Driver = Lockstep
 	}
@@ -378,10 +454,17 @@ func (r *router) route(v int, outs []Outgoing) error {
 }
 
 // deliver appends one edge-delivery to the receiving inbox being filled
-// for the next round, unless fault injection drops it.
+// for the next round, unless fault injection drops it. A corrupted
+// delivery replaces the payload but bills the original's bits: the
+// wire carried the full message, damaged or not.
 func (r *router) deliver(from, to, bits int, p Payload) {
 	if r.cfg.DropMessage != nil && r.cfg.DropMessage(r.round, from, to) {
 		return
+	}
+	if r.cfg.CorruptMessage != nil {
+		if cp, ok := r.cfg.CorruptMessage(r.round, from, to, p); ok {
+			p = cp
+		}
 	}
 	r.next[to] = append(r.next[to], Message{From: from, Payload: p})
 	r.res.Messages++
@@ -430,6 +513,16 @@ func runLockstep(nw *Network, nodes []Node, cfg Config) (Result, error) {
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
+			}
+			if cfg.NodeDown != nil {
+				switch cfg.NodeDown(round, v) {
+				case NodeDowned:
+					continue // state kept, round (and this round's inbox) lost
+				case NodeCrashed:
+					done[v] = true
+					remaining--
+					continue
+				}
 			}
 			active++
 			outs, fin, err := safeRound(nodes[v], ctxs[v], round, inboxes[v])
@@ -526,6 +619,10 @@ func runGoroutines(nw *Network, nodes []Node, cfg Config) (Result, error) {
 		}
 	}
 	remaining := n
+	// status records the NodeDown verdict of every alive node for the
+	// round being coordinated, so the collect pass skips the nodes the
+	// kick pass never started. All zeros (NodeUp) when the hook is nil.
+	status := make([]NodeStatus, n)
 	for round := 1; remaining > 0; round++ {
 		if round > cfg.MaxRounds {
 			return rt.res, fmt.Errorf("%w: %d", ErrRoundLimit, cfg.MaxRounds)
@@ -535,15 +632,33 @@ func runGoroutines(nw *Network, nodes []Node, cfg Config) (Result, error) {
 		prevMsgs, prevBits := rt.res.Messages, rt.res.TotalBits
 		active := 0
 		// Kick off all alive nodes for this round, then collect in id
-		// order so routing is deterministic.
+		// order so routing is deterministic. The NodeDown hook runs
+		// here, on the coordinator, in ascending id order — the same
+		// schedule as the other drivers.
 		for v := 0; v < n; v++ {
-			if alive[v] {
+			if !alive[v] {
+				continue
+			}
+			st := NodeUp
+			if cfg.NodeDown != nil {
+				st = cfg.NodeDown(round, v)
+			}
+			status[v] = st
+			switch st {
+			case NodeDowned:
+				// Skipped this round; its goroutine idles at the
+				// channel receive until a later round or shutdown.
+			case NodeCrashed:
+				close(ins[v])
+				alive[v] = false
+				remaining--
+			default:
 				active++
 				ins[v] <- roundIn{round: round, inbox: inboxes[v]}
 			}
 		}
 		for v := 0; v < n; v++ {
-			if !alive[v] {
+			if !alive[v] || status[v] != NodeUp {
 				continue
 			}
 			ro := <-outs[v]

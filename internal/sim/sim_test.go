@@ -25,8 +25,10 @@ func (f *floodMax) Init(ctx *Context) []Outgoing {
 
 func (f *floodMax) Round(ctx *Context, round int, inbox []Message) ([]Outgoing, bool) {
 	for _, m := range inbox {
-		if v := m.Payload.(IntPayload).Value; v > f.best {
-			f.best = v
+		// Two-value assertion: fault tests deliver Corrupted payloads,
+		// which a well-formed protocol ignores.
+		if p, ok := m.Payload.(IntPayload); ok && p.Value > f.best {
+			f.best = p.Value
 		}
 	}
 	if round >= f.hops {

@@ -47,6 +47,13 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	for v := range active {
 		active[v] = v
 	}
+	// status records the NodeDown verdict of every active node for the
+	// round in flight; only allocated when the hook is set (the workers
+	// skip non-up nodes, the routing pass drops crashed ones).
+	var status []NodeStatus
+	if cfg.NodeDown != nil {
+		status = make([]NodeStatus, n)
+	}
 	for round := 1; len(active) > 0; round++ {
 		if round > cfg.MaxRounds {
 			return rt.res, fmt.Errorf("%w: %d", ErrRoundLimit, cfg.MaxRounds)
@@ -55,6 +62,18 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 		rt.round = round
 		prevMsgs, prevBits := rt.res.Messages, rt.res.TotalBits
 		activeCount := len(active)
+		if cfg.NodeDown != nil {
+			// Consult the hook on the coordinator in ascending id
+			// order — the same schedule as the other drivers — before
+			// any worker starts.
+			activeCount = 0
+			for _, v := range active {
+				status[v] = cfg.NodeDown(round, v)
+				if status[v] == NodeUp {
+					activeCount++
+				}
+			}
+		}
 		var wg sync.WaitGroup
 		chunk := (len(active) + workers - 1) / workers
 		for w := 0; w < workers; w++ {
@@ -70,6 +89,9 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 			go func(ids []int) {
 				defer wg.Done()
 				for _, v := range ids {
+					if status != nil && status[v] != NodeUp {
+						continue
+					}
 					outs[v], fins[v], errs[v] = safeRound(nodes[v], ctxs[v], round, inboxes[v])
 				}
 			}(active[lo:hi])
@@ -82,6 +104,15 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 		// stays ascending and no per-round allocation happens.
 		keep := active[:0]
 		for _, v := range active {
+			if status != nil {
+				switch status[v] {
+				case NodeDowned:
+					keep = append(keep, v) // skipped this round, state kept
+					continue
+				case NodeCrashed:
+					continue // dropped from the run without a final Round
+				}
+			}
 			if errs[v] != nil {
 				return rt.res, errs[v]
 			}

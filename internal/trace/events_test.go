@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAnnotateAndEvents(t *testing.T) {
+	var rec Recorder
+	if got := rec.Events(); len(got) != 0 {
+		t.Fatalf("fresh recorder has %d events", len(got))
+	}
+	rec.Annotate(2, "crash-stop", "node 3 crashes")
+	rec.Annotate(1, "corrupt", "all edges at rate 0.10")
+	rec.Annotate(9, "phase", "") // detail optional, out-of-range round legal
+	evs := rec.Events()
+	want := []Event{
+		{Round: 2, Kind: "crash-stop", Detail: "node 3 crashes"},
+		{Round: 1, Kind: "corrupt", Detail: "all edges at rate 0.10"},
+		{Round: 9, Kind: "phase"},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Errorf("Events() = %+v, want insertion order %+v", evs, want)
+	}
+	rec.Reset()
+	if len(rec.Events()) != 0 || rec.Len() != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+func TestEventsJSONLRoundTrip(t *testing.T) {
+	var rec Recorder
+	rec.Annotate(3, "link-down", "link {0,4} dead through round 6")
+	rec.Annotate(1, "crash-recover", "node 2 down through round 2")
+	var buf bytes.Buffer
+	if err := rec.WriteEventsJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEventsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rec.Events()) {
+		t.Errorf("round trip: %+v vs %+v", back, rec.Events())
+	}
+	// The event stream must not contaminate the round-stats stream.
+	var rbuf bytes.Buffer
+	if err := rec.WriteJSONL(&rbuf); err != nil {
+		t.Fatal(err)
+	}
+	if rbuf.Len() != 0 {
+		t.Errorf("round stream contains %d bytes for an events-only recorder", rbuf.Len())
+	}
+}
+
+func TestReadEventsJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadEventsJSONL(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTimelineShowsEvents(t *testing.T) {
+	rec := recordLinialRun(t)
+	rec.Annotate(2, "crash-stop", "node 7 crashes")
+	out := rec.Timeline(40)
+	if !strings.Contains(out, "events: 1 annotated") {
+		t.Errorf("timeline missing event count:\n%s", out)
+	}
+	if !strings.Contains(out, "crash-stop") || !strings.Contains(out, "node 7 crashes") {
+		t.Errorf("timeline missing event line:\n%s", out)
+	}
+	// Without events, the section is absent.
+	rec2 := recordLinialRun(t)
+	if strings.Contains(rec2.Timeline(40), "events:") {
+		t.Error("event section rendered with no events")
+	}
+}

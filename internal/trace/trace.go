@@ -14,11 +14,33 @@ import (
 	"listcolor/internal/sim"
 )
 
-// Recorder collects RoundStats. The zero value is ready to use; attach
-// it with Attach or by passing Hook() as Config.OnRound.
+// Recorder collects RoundStats and, optionally, point-in-time
+// annotations (the adversary layer uses them to mark injected
+// faults). The zero value is ready to use; attach it with Attach or
+// by passing Hook() as Config.OnRound.
 type Recorder struct {
 	rounds []sim.RoundStats
+	events []Event
 }
+
+// Event is an annotation pinned to a round — a fault injection, a
+// phase transition, anything worth seeing next to the per-round
+// statistics.
+type Event struct {
+	Round  int    `json:"round"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Annotate records an event at the given round. Events are kept in
+// insertion order; they need not be sorted and may reference rounds
+// the run never reached.
+func (r *Recorder) Annotate(round int, kind, detail string) {
+	r.events = append(r.events, Event{Round: round, Kind: kind, Detail: detail})
+}
+
+// Events returns the recorded annotations (owned by the recorder).
+func (r *Recorder) Events() []Event { return r.events }
 
 // Hook returns the callback to install as sim.Config.OnRound.
 func (r *Recorder) Hook() func(sim.RoundStats) {
@@ -45,8 +67,35 @@ func (r *Recorder) Len() int { return len(r.rounds) }
 // Rounds returns the recorded stats (owned by the recorder).
 func (r *Recorder) Rounds() []sim.RoundStats { return r.rounds }
 
-// Reset discards all recorded rounds.
-func (r *Recorder) Reset() { r.rounds = nil }
+// Reset discards all recorded rounds and events.
+func (r *Recorder) Reset() { r.rounds, r.events = nil, nil }
+
+// WriteEventsJSONL emits one JSON object per recorded annotation.
+// Kept separate from WriteJSONL so the round stream stays parseable
+// by ReadJSONL.
+func (r *Recorder) WriteEventsJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: encoding event at round %d: %w", e.Round, err)
+		}
+	}
+	return nil
+}
+
+// ReadEventsJSONL parses a stream written by WriteEventsJSONL.
+func ReadEventsJSONL(rd io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(rd)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("trace: decoding event %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
 
 // WriteJSONL emits one JSON object per recorded round.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
@@ -132,5 +181,11 @@ func (r *Recorder) Timeline(width int) string {
 	fmt.Fprintf(&out, "active   |%s|\n", spark(active))
 	fmt.Fprintf(&out, "messages |%s|\n", spark(msgs))
 	fmt.Fprintf(&out, "bits     |%s|\n", spark(bits))
+	if len(r.events) > 0 {
+		fmt.Fprintf(&out, "events: %d annotated\n", len(r.events))
+		for _, e := range r.events {
+			fmt.Fprintf(&out, "  r%-5d %-14s %s\n", e.Round, e.Kind, e.Detail)
+		}
+	}
 	return out.String()
 }
