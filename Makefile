@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-sim bench-local bench-harness fuzz tables cover conform conformance clean
+.PHONY: all build vet test race test-scale bench bench-sim bench-local bench-harness fuzz tables cover conform conformance clean
 
 all: build vet test
 
@@ -17,6 +17,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Web-scale regression tier: million-node tests plus the 10^7-node
+# smoke (docs/TESTING.md §Scale tests; CI runs this on a schedule).
+test-scale:
+	$(GO) test -run 'TestScale' -v ./internal/sim
+	$(GO) test -run TestStreamedGeneratorInvariantsLarge -v ./internal/graph
+	LISTCOLOR_SCALE=xl $(GO) test -run TestScaleTenMillionSmoke -timeout 30m -v ./internal/sim
 
 # One iteration of every benchmark; full runs use plain `go test -bench`.
 bench:
@@ -42,6 +49,7 @@ fuzz:
 	$(GO) test -fuzz FuzzSelectorEquivalence -fuzztime 15s ./internal/twosweep
 	$(GO) test -fuzz FuzzRouteEquivalence -fuzztime 15s ./internal/sim
 	$(GO) test -fuzz FuzzCorruptedPayloadDecode -fuzztime 15s ./internal/sim
+	$(GO) test -fuzz FuzzStreamingCSRBuild -fuzztime 15s ./internal/graph
 
 # Conformance matrix: CLI summary / heavy go-test tier (docs/TESTING.md).
 conform:

@@ -99,6 +99,45 @@ func NewPowerLaw(n, k int, seed int64) *Graph {
 	return graph.PowerLaw(n, k, rand.New(rand.NewSource(seed)))
 }
 
+// ---------------------------------------------------------------------------
+// Web-scale graphs (compressed sparse row).
+
+// CSRGraph is an immutable graph in compressed-sparse-row form: two
+// flat arrays (int64 row offsets, concatenated sorted neighbor rows)
+// instead of per-node adjacency slices. It is the substrate of the
+// 10⁶–10⁷-node simulation path (docs/MEMORY.md); convert to an
+// adjacency-list Graph with its Graph method where an algorithm
+// requires one.
+type CSRGraph = graph.CSR
+
+// EdgeStream is a replayable edge producer for streaming CSR builds;
+// see BuildCSR.
+type EdgeStream = graph.EdgeStream
+
+// BuildCSR builds a CSRGraph on n vertices directly from a replayable
+// edge stream, without materializing adjacency maps or per-node
+// slices. The stream is invoked twice (count + fill) and must emit the
+// identical edge sequence both times.
+func BuildCSR(n int, stream EdgeStream) (*CSRGraph, error) {
+	return graph.StreamCSR(n, stream)
+}
+
+// NewStreamedRing returns the n-cycle as a streamed CSRGraph.
+func NewStreamedRing(n int) *CSRGraph { return graph.StreamedRing(n) }
+
+// NewStreamedGNP returns a seeded G(n, p) graph as a streamed
+// CSRGraph, built in O(n + m) time by geometric skip sampling.
+func NewStreamedGNP(n int, p float64, seed int64) *CSRGraph {
+	return graph.StreamedGNP(n, p, seed)
+}
+
+// NewStreamedPowerLaw returns a seeded preferential-attachment graph
+// (every arriving vertex attaches to k earlier vertices) as a streamed
+// CSRGraph.
+func NewStreamedPowerLaw(n, k int, seed int64) *CSRGraph {
+	return graph.StreamedPowerLaw(n, k, seed)
+}
+
 // LineGraph returns the line graph of g and the mapping from
 // line-graph vertices to edges of g. Line graphs have neighborhood
 // independence ≤ 2.

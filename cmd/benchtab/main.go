@@ -120,13 +120,19 @@ func runSimBench(out io.Writer, quick bool) error {
 	if err != nil {
 		return err
 	}
+	scale, err := bench.RunSimScale(quick)
+	if err != nil {
+		return err
+	}
 	rep := bench.SimBenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Note: "Engine round-throughput on the chatter protocol (broadcast 16-bit payload per round). " +
 			"baseline = pre-arena router (per-round inbox allocation + per-inbox sort), recorded once; " +
-			"current = this build. Refresh with `make bench-sim`.",
+			"current = this build; scale = streamed CSR instances at 10^6-10^7 nodes (docs/MEMORY.md). " +
+			"Refresh with `make bench-sim`.",
 		Baseline: bench.SimBenchBaseline(),
 		Current:  cur,
+		Scale:    scale,
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

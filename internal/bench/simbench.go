@@ -149,6 +149,9 @@ type SimBenchReport struct {
 	Note        string          `json:"note"`
 	Baseline    []SimBenchEntry `json:"baseline"`
 	Current     []SimBenchEntry `json:"current"`
+	// Scale holds the web-scale rows (streamed CSR builds at 10⁶–10⁷
+	// nodes; see simscale.go and docs/MEMORY.md).
+	Scale []SimScaleEntry `json:"scale"`
 }
 
 // RunSimBench measures every (workload, driver) pair.

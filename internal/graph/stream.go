@@ -1,0 +1,163 @@
+package graph
+
+// Streaming generators for the web-scale simulation path: each returns
+// a replayable EdgeStream (or the CSR built from one) that emits edges
+// directly into StreamCSR's preallocated arrays, so a 10⁷-node
+// instance never materializes adjacency maps, per-node slices, or an
+// intermediate edge list. Replayability comes from reseeding the RNG
+// inside the stream function: both of StreamCSR's passes observe the
+// identical edge sequence.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RingStream returns the edge stream of the n-cycle (n ≥ 3).
+func RingStream(n int) EdgeStream {
+	if n < 3 {
+		panic("graph: RingStream needs n ≥ 3")
+	}
+	return func(emit func(u, v int)) {
+		for v := 0; v < n; v++ {
+			emit(v, (v+1)%n)
+		}
+	}
+}
+
+// StreamedRing builds the n-cycle directly in CSR form.
+func StreamedRing(n int) *CSR {
+	c, err := StreamCSR(n, RingStream(n))
+	if err != nil {
+		panic(err) // unreachable: the ring stream is simple and replayable
+	}
+	return c
+}
+
+// GNPStream returns the edge stream of an Erdős–Rényi G(n, p) graph
+// drawn deterministically from seed. It uses geometric skip sampling —
+// O(m) work and O(1) state instead of the O(n²) coin flips of the
+// map-built GNP — and emits edges (u, v), u < v, in lexicographic
+// order, so the streamed rows arrive already sorted.
+func GNPStream(n int, p float64, seed int64) EdgeStream {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: GNPStream probability %v out of [0,1]", p))
+	}
+	return func(emit func(u, v int)) {
+		if p == 0 || n < 2 {
+			return
+		}
+		if p == 1 {
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					emit(u, v)
+				}
+			}
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		logq := math.Log1p(-p)
+		// Walk the strictly-upper-triangular pair space in skips of
+		// geometrically distributed length: each skip lands on the next
+		// present edge.
+		u, v := 0, 0 // v ≤ u means "row exhausted, advance"
+		for {
+			r := rng.Float64()
+			skip := 1
+			if r > 0 { // log(0) would skip to infinity, i.e. no more edges
+				skip = 1 + int(math.Floor(math.Log(r)/logq))
+				if skip < 1 { // guard rounding at p → 1
+					skip = 1
+				}
+			} else {
+				return
+			}
+			v += skip
+			for v >= n {
+				u++
+				if u >= n-1 {
+					return
+				}
+				v = u + 1 + (v - n)
+			}
+			emit(u, v)
+		}
+	}
+}
+
+// StreamedGNP builds G(n, p) directly in CSR form from seed.
+func StreamedGNP(n int, p float64, seed int64) *CSR {
+	c, err := StreamCSR(n, GNPStream(n, p, seed))
+	if err != nil {
+		panic(err) // unreachable: skip sampling emits each pair at most once
+	}
+	return c
+}
+
+// PowerLawStream returns the edge stream of a preferential-attachment
+// (Barabási–Albert style) graph on n vertices drawn deterministically
+// from seed: after a seed clique on k+1 vertices, each arriving vertex
+// attaches to k distinct existing vertices chosen proportionally to
+// degree with 5% uniform smoothing — the same skewed-degree family as
+// PowerLaw, in streaming form. The degree-weighted sampling pool is
+// the only working memory (4 bytes per attachment endpoint, int32
+// entries), allocated inside the stream so each replay is independent;
+// n must stay below 2³¹.
+func PowerLawStream(n, k int, seed int64) EdgeStream {
+	if k < 1 || n < k+1 {
+		panic(fmt.Sprintf("graph: PowerLawStream(%d,%d) infeasible", n, k))
+	}
+	if int64(n) > int64(math.MaxInt32) {
+		panic("graph: PowerLawStream needs n < 2³¹ (int32 sampling pool)")
+	}
+	return func(emit func(u, v int)) {
+		rng := rand.New(rand.NewSource(seed))
+		targets := make([]int32, 0, 2*(n-k-1)*k+k*(k+1))
+		for u := 0; u <= k; u++ {
+			for v := u + 1; v <= k; v++ {
+				emit(u, v)
+				targets = append(targets, int32(u), int32(v))
+			}
+		}
+		chosen := make([]int32, 0, k)
+		for v := k + 1; v < n; v++ {
+			chosen = chosen[:0]
+			for len(chosen) < k {
+				var t int32
+				if len(targets) == 0 || rng.Float64() < 0.05 {
+					t = int32(rng.Intn(v)) // smoothing: occasionally uniform
+				} else {
+					t = targets[rng.Intn(len(targets))]
+				}
+				if t == int32(v) {
+					continue
+				}
+				dup := false
+				for _, c := range chosen {
+					if c == t {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					chosen = append(chosen, t)
+				}
+			}
+			for _, t := range chosen {
+				emit(v, int(t))
+				targets = append(targets, int32(v), t)
+			}
+		}
+	}
+}
+
+// StreamedPowerLaw builds the preferential-attachment graph directly
+// in CSR form from seed.
+func StreamedPowerLaw(n, k int, seed int64) *CSR {
+	c, err := StreamCSR(n, PowerLawStream(n, k, seed))
+	if err != nil {
+		panic(err) // unreachable: per-vertex targets are distinct by construction
+	}
+	return c
+}

@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestStreamedGeneratorsMatchReference replays each streaming
+// generator's edge stream through the adjacency-list build path and
+// demands the streamed CSR be byte-identical to it (offsets, columns,
+// fingerprint) on small instances.
+func TestStreamedGeneratorsMatchReference(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		csr    *CSR
+		stream EdgeStream
+	}{
+		{"ring3", 3, StreamedRing(3), RingStream(3)},
+		{"ring17", 17, StreamedRing(17), RingStream(17)},
+		{"gnp sparse", 64, StreamedGNP(64, 0.07, 5), GNPStream(64, 0.07, 5)},
+		{"gnp dense", 24, StreamedGNP(24, 0.6, 6), GNPStream(24, 0.6, 6)},
+		{"gnp empty", 20, StreamedGNP(20, 0, 7), GNPStream(20, 0, 7)},
+		{"gnp complete", 9, StreamedGNP(9, 1, 8), GNPStream(9, 1, 8)},
+		{"powerlaw k1", 40, StreamedPowerLaw(40, 1, 9), PowerLawStream(40, 1, 9)},
+		{"powerlaw k3", 60, StreamedPowerLaw(60, 3, 10), PowerLawStream(60, 3, 10)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := buildReference(t, tc.n, tc.stream)
+			assertCSREqualsGraph(t, tc.csr, ref)
+			if err := tc.csr.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+// TestStreamedGNPIsComplete pins the skip-sampling boundary p=1: every
+// pair must be present.
+func TestStreamedGNPIsComplete(t *testing.T) {
+	c := StreamedGNP(12, 1, 1)
+	if c.M() != 12*11/2 {
+		t.Fatalf("p=1 edges = %d, want %d", c.M(), 12*11/2)
+	}
+}
+
+// TestStreamedGNPDensity sanity-checks the skip sampler against the
+// expected edge count (binomial mean ± 6σ) so a systematically biased
+// skip formula cannot hide behind replay consistency.
+func TestStreamedGNPDensity(t *testing.T) {
+	n, p := 2000, 0.01
+	c := StreamedGNP(n, p, 42)
+	pairs := float64(n) * float64(n-1) / 2
+	mean := pairs * p
+	sigma := 140.6 // sqrt(pairs·p·(1−p)) ≈ 140.6
+	got := float64(c.M())
+	if got < mean-6*sigma || got > mean+6*sigma {
+		t.Fatalf("G(%d,%v) has %v edges, want %v ± %v", n, p, got, mean, 6*sigma)
+	}
+}
+
+// TestStreamedPowerLawShape checks the attachment invariants: exact
+// edge count and minimum degree k.
+func TestStreamedPowerLawShape(t *testing.T) {
+	n, k := 300, 3
+	c := StreamedPowerLaw(n, k, 11)
+	wantEdges := int64(k*(k+1)/2 + (n-k-1)*k)
+	if c.M() != wantEdges {
+		t.Fatalf("edges = %d, want %d", c.M(), wantEdges)
+	}
+	for v := 0; v < n; v++ {
+		if c.Degree(v) < k {
+			t.Fatalf("vertex %d degree %d < k=%d", v, c.Degree(v), k)
+		}
+	}
+}
+
+// TestStreamedGeneratorInvariantsLarge runs the structural invariants
+// the fuzz target checks on small n — degree sum, sortedness,
+// simplicity, symmetry — on million-node streamed builds, where the
+// map-built reference would be too slow to compare against. Skipped in
+// -short mode (docs/TESTING.md §Scale tests).
+func TestStreamedGeneratorInvariantsLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const n = 1_000_000
+	cases := []struct {
+		name string
+		csr  *CSR
+	}{
+		{"ring", StreamedRing(n)},
+		{"gnp", StreamedGNP(n, 4.0/float64(n), 21)},
+		{"powerlaw", StreamedPowerLaw(n, 3, 22)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.csr
+			if c.N() != n {
+				t.Fatalf("n = %d", c.N())
+			}
+			var degSum int64
+			for v := 0; v < n; v++ {
+				degSum += int64(c.Degree(v))
+			}
+			if degSum != c.Arcs() || degSum != 2*c.M() {
+				t.Fatalf("degree sum %d, arcs %d, 2m %d", degSum, c.Arcs(), 2*c.M())
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+// FuzzStreamingCSRBuild decodes arbitrary bytes into an edge stream
+// (deduplicated, self-loop-free, so both build paths accept it) and
+// asserts the streamed CSR is byte-identical to the map-built
+// reference: same offsets, same columns, same fingerprint.
+func FuzzStreamingCSRBuild(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{5, 0, 1, 1, 2, 2, 3, 3, 4, 4, 0})
+	f.Add([]byte{9, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		n := int(data[0])%32 + 1
+		type edge struct{ u, v int }
+		seen := make(map[edge]bool)
+		var edges []edge
+		for i := 1; i+1 < len(data); i += 2 {
+			u, v := int(data[i])%n, int(data[i+1])%n
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			e := edge{u, v}
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			edges = append(edges, e)
+		}
+		stream := func(emit func(u, v int)) {
+			for _, e := range edges {
+				emit(e.u, e.v)
+			}
+		}
+		c, err := StreamCSR(n, stream)
+		if err != nil {
+			t.Fatalf("StreamCSR rejected a clean stream: %v", err)
+		}
+		ref := buildReference(t, n, stream)
+		assertCSREqualsGraph(t, c, ref)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package sim_test
+
+// Scale-regression tier (docs/TESTING.md §Scale tests): million-node
+// streamed-CSR instances through the real engine, asserting the three
+// properties the web-scale path promises — sharded execution is
+// bit-identical to sequential, the steady-state round loop allocates
+// nothing (lockstep) or a small n-independent constant (workers), and
+// the whole run fits the docs/MEMORY.md budget. All tests here skip
+// under -short; the 10⁷-node smoke additionally requires
+// LISTCOLOR_SCALE=xl (the scheduled scale-smoke CI job sets it).
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"listcolor/internal/bench"
+	"listcolor/internal/graph"
+	"listcolor/internal/sim"
+)
+
+// scaleDigest is the external-package twin of the shard-conformance
+// digest protocol: order-sensitive fold of every delivery, broadcast
+// every round (allocation-free, so it is also usable under the alloc
+// assertions if needed).
+type scaleDigest struct {
+	rounds int
+	h      uint64
+	outbox []sim.Outgoing
+	out    *uint64
+}
+
+func (d *scaleDigest) mix(x int) {
+	d.h ^= uint64(x) & (1<<20 - 1)
+	d.h *= 1099511628211
+}
+
+func (d *scaleDigest) Init(ctx *sim.Context) []sim.Outgoing {
+	d.h = 14695981039346656037
+	d.mix(ctx.ID)
+	d.outbox = []sim.Outgoing{{To: sim.Broadcast, Payload: sim.IntPayload{Value: ctx.ID % (1 << 16), Domain: 1 << 16}}}
+	return d.outbox
+}
+
+func (d *scaleDigest) Round(ctx *sim.Context, round int, inbox []sim.Message) ([]sim.Outgoing, bool) {
+	for i := range inbox {
+		d.mix(inbox[i].From)
+		if p, ok := inbox[i].Payload.(sim.IntPayload); ok {
+			d.mix(p.Value)
+		}
+	}
+	if round >= d.rounds {
+		*d.out = d.h
+		return nil, true
+	}
+	d.outbox[0].Payload = sim.IntPayload{Value: int(d.h % (1 << 16)), Domain: 1 << 16}
+	return d.outbox, false
+}
+
+func newScaleDigestNodes(n, rounds int) ([]sim.Node, []uint64) {
+	digests := make([]uint64, n)
+	nodes := make([]sim.Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = &scaleDigest{rounds: rounds, out: &digests[v]}
+	}
+	return nodes, digests
+}
+
+// foldDigests reduces the per-node digests to one run fingerprint.
+func foldDigests(ds []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, d := range ds {
+		h ^= d
+		h *= 1099511628211
+	}
+	return h
+}
+
+const scaleN = 1_000_000
+
+// TestScaleShardFingerprintMillion runs the digest protocol on a
+// streamed 10⁶-node ring under the lockstep reference and the sharded
+// workers driver and demands identical Results and a bit-identical
+// run fingerprint for every shard count.
+func TestScaleShardFingerprintMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const rounds = 4
+	c := graph.StreamedRing(scaleN)
+	refNodes, refDigests := newScaleDigestNodes(scaleN, rounds)
+	refRes, err := sim.Run(sim.NewCSRNetwork(c), refNodes, sim.Config{Driver: sim.Lockstep})
+	if err != nil {
+		t.Fatalf("lockstep: %v", err)
+	}
+	refFP := foldDigests(refDigests)
+	for _, s := range []int{1, 4, 32} {
+		nodes, digests := newScaleDigestNodes(scaleN, rounds)
+		res, err := sim.Run(sim.NewCSRNetwork(c), nodes, sim.Config{Driver: sim.Workers, Shards: s})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", s, err)
+		}
+		if res != refRes {
+			t.Errorf("shards=%d: Result = %+v, want %+v", s, res, refRes)
+		}
+		if fp := foldDigests(digests); fp != refFP {
+			t.Errorf("shards=%d: run fingerprint %#x, want %#x", s, fp, refFP)
+		}
+	}
+}
+
+// TestScaleMemoryCeilingMillion asserts the docs/MEMORY.md budget: a
+// 10⁶-node streamed ring driven through the sharded workers driver
+// must fit the documented ~460 MiB component sum, with a 640 MiB
+// ceiling leaving headroom for allocator slack. HeapAlloc is sampled
+// at run return, while topology, nodes, contexts, and the inbox arena
+// are all still live.
+func TestScaleMemoryCeilingMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	c := graph.StreamedRing(scaleN)
+	nw := sim.NewCSRNetwork(c)
+	nodes := bench.ChatterNodes(scaleN, 3)
+	if _, err := sim.Run(nw, nodes, sim.Config{Driver: sim.Workers, Shards: 8}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	runtime.ReadMemStats(&m1)
+	runtime.KeepAlive(nw)
+	runtime.KeepAlive(nodes)
+	const ceiling = 640 << 20
+	if used := m1.HeapAlloc - m0.HeapAlloc; used > ceiling {
+		t.Errorf("10^6-node ring run used %d MiB of heap, budget ceiling %d MiB (docs/MEMORY.md)",
+			used>>20, int64(ceiling)>>20)
+	}
+}
+
+// runMallocs runs the chatter protocol for the given number of rounds
+// on a fresh network over c and returns the mallocs the run performed.
+func runMallocs(t *testing.T, c *graph.CSR, cfg sim.Config, rounds int) uint64 {
+	t.Helper()
+	nw := sim.NewCSRNetwork(c)
+	nodes := bench.ChatterNodes(c.N(), rounds)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, err := sim.Run(nw, nodes, cfg)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rounds != rounds {
+		t.Fatalf("Rounds = %d, want %d", res.Rounds, rounds)
+	}
+	return m1.Mallocs - m0.Mallocs
+}
+
+// TestScaleSteadyStateAllocs asserts the allocation-free round loop at
+// 10⁶ nodes by differencing two run lengths: the one-time setup
+// (contexts, arena, node outboxes) cancels, leaving pure per-round
+// allocation. Lockstep must be exactly allocation-free; the workers
+// driver pays only its per-round goroutine spawns — a small constant
+// independent of n (a regression to per-delivery allocation would show
+// up as ~2·10⁶ allocs/round).
+func TestScaleSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const r1, r2 = 4, 12
+	c := graph.StreamedRing(scaleN)
+	for _, tc := range []struct {
+		name     string
+		cfg      sim.Config
+		perRound float64 // allowed allocs per steady-state round
+	}{
+		{"lockstep", sim.Config{Driver: sim.Lockstep}, 1},
+		{"workers-sharded", sim.Config{Driver: sim.Workers, Shards: 8}, 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a1 := runMallocs(t, c, tc.cfg, r1)
+			a2 := runMallocs(t, c, tc.cfg, r2)
+			extra := int64(a2) - int64(a1)
+			perRound := float64(extra) / float64(r2-r1)
+			if perRound > tc.perRound {
+				t.Errorf("steady state allocates %.1f/round (%d mallocs over %d extra rounds), want ≤ %v",
+					perRound, extra, r2-r1, tc.perRound)
+			}
+		})
+	}
+}
+
+// TestScaleTenMillionSmoke is the 10⁷-node tier: build + run must
+// complete and stay inside the docs/MEMORY.md ceiling. It needs a few
+// GiB of RAM and tens of seconds, so beyond -short it is gated behind
+// LISTCOLOR_SCALE=xl, which only the scheduled scale-smoke CI job and
+// explicit local invocations set.
+func TestScaleTenMillionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	if os.Getenv("LISTCOLOR_SCALE") != "xl" {
+		t.Skip("10^7-node tier: set LISTCOLOR_SCALE=xl to run")
+	}
+	const n = 10_000_000
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	c := graph.StreamedRing(n)
+	if c.N() != n || c.M() != n {
+		t.Fatalf("streamed ring: n=%d m=%d", c.N(), c.M())
+	}
+	nodes, digests := newScaleDigestNodes(n, 2)
+	res, err := sim.Run(sim.NewCSRNetwork(c), nodes, sim.Config{Driver: sim.Workers, Shards: 8})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	runtime.ReadMemStats(&m1)
+	// Deliveries: round 1 carries the n init broadcasts, round 2 the n
+	// round-1 broadcasts; each broadcast reaches 2 ring neighbors.
+	if res.Rounds != 2 || res.Messages != 2*2*n {
+		t.Errorf("Result = %+v, want 2 rounds of 2·10⁷ deliveries each", res)
+	}
+	if fp := foldDigests(digests); fp == 0 {
+		t.Errorf("degenerate run fingerprint")
+	}
+	const ceiling = 6 << 30
+	if used := m1.HeapAlloc - m0.HeapAlloc; used > ceiling {
+		t.Errorf("10^7-node run used %d MiB of heap, ceiling %d MiB (docs/MEMORY.md)",
+			used>>20, int64(ceiling)>>20)
+	}
+}

@@ -126,6 +126,18 @@ type Config struct {
 	// MaxRounds bounds the run as a safety net against non-terminating
 	// protocols. 0 means DefaultMaxRounds.
 	MaxRounds int
+	// Shards, when above 1, makes the Workers driver deliver each
+	// round's messages in that many contiguous receiver ranges
+	// concurrently, each range a disjoint slice of the shared inbox
+	// arena (shard.go). Results are bit-identical for every value —
+	// inbox contents, statistics, and errors all match the sequential
+	// route — because each receiver's inbox is filled by exactly one
+	// shard in the same ascending-sender order. 0 and 1 route
+	// sequentially; drivers other than Workers ignore the field.
+	// Rounds with a DropMessage or CorruptMessage hook installed also
+	// route sequentially, preserving the hooks' single-goroutine
+	// call-order contract.
+	Shards int
 	// OnRound, if non-nil, is invoked after every round with that
 	// round's statistics (lockstep and goroutine drivers both call it
 	// from the coordinating goroutine).
@@ -184,6 +196,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxRounds < 0 {
 		return fmt.Errorf("%w: negative MaxRounds %d", ErrConfig, c.MaxRounds)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("%w: negative Shards %d", ErrConfig, c.Shards)
 	}
 	switch c.Driver {
 	case 0, Lockstep, Goroutines, Workers:
@@ -295,43 +310,88 @@ func safeRound(nd Node, ctx *Context, round int, inbox []Message) (outs []Outgoi
 	return outs, done, nil
 }
 
-// Network is the communication topology: an undirected graph plus an
-// optional edge orientation exposed to the nodes (communication is
-// always bidirectional, as in the paper's model).
+// Network is the communication topology: a CSR-form undirected graph
+// plus an optional edge orientation exposed to the nodes
+// (communication is always bidirectional, as in the paper's model).
+//
+// CSR is the native representation end-to-end: the router, the inbox
+// arena, and the node contexts all index the shared rowPtr/col arrays,
+// and neighbor slices handed to nodes are zero-copy views into them.
+// Networks built from an adjacency-list Graph convert once at
+// construction; scale paths construct directly from a streamed CSR
+// (NewCSRNetwork) and never materialize per-node adjacency slices.
 type Network struct {
+	topo *graph.CSR
+	// g is the adjacency-list view: the construction-time original for
+	// Graph-built networks, or a lazily materialized copy for
+	// CSR-built ones (validation/diagnostics paths only — it allocates
+	// per-node slices, so scale paths must not call Graph()).
 	g  *graph.Graph
 	di *graph.Digraph
 }
 
 // NewNetwork returns a network over an undirected graph.
 func NewNetwork(g *graph.Graph) *Network {
-	g.Normalize()
-	return &Network{g: g}
+	return &Network{topo: graph.CSRFromGraph(g), g: g}
+}
+
+// NewCSRNetwork returns a network directly over a CSR topology —
+// the streamed-generator path, which never builds adjacency lists.
+func NewCSRNetwork(c *graph.CSR) *Network {
+	return &Network{topo: c}
 }
 
 // NewOrientedNetwork returns a network over an oriented graph: nodes
 // see Out/In neighbor sets, but messages travel both ways.
 func NewOrientedNetwork(d *graph.Digraph) *Network {
-	d.Underlying().Normalize()
-	return &Network{g: d.Underlying(), di: d}
+	g := d.Underlying()
+	return &Network{topo: graph.CSRFromGraph(g), g: g, di: d}
 }
 
 // N returns the number of nodes.
-func (nw *Network) N() int { return nw.g.N() }
+func (nw *Network) N() int { return nw.topo.N() }
 
-// Graph returns the underlying undirected graph.
-func (nw *Network) Graph() *graph.Graph { return nw.g }
+// CSR returns the native topology.
+func (nw *Network) CSR() *graph.CSR { return nw.topo }
+
+// Graph returns the underlying undirected graph, materializing (and
+// caching) an adjacency-list copy for CSR-built networks. Validation
+// and diagnostics only: the copy allocates per-node slices, which the
+// CSR-native scale path exists to avoid.
+func (nw *Network) Graph() *graph.Graph {
+	if nw.g == nil {
+		nw.g = nw.topo.Graph()
+	}
+	return nw.g
+}
 
 // Digraph returns the orientation, or nil for an unoriented network.
 func (nw *Network) Digraph() *graph.Digraph { return nw.di }
 
 func (nw *Network) context(v int) *Context {
-	ctx := &Context{ID: v, Neighbors: nw.g.Neighbors(v)}
+	ctx := &Context{ID: v, Neighbors: nw.topo.Row(v)}
 	if nw.di != nil {
 		ctx.Out = nw.di.Out(v)
 		ctx.In = nw.di.In(v)
 	}
 	return ctx
+}
+
+// contexts builds the per-node contexts as one flat array — a single
+// allocation instead of n, with every Neighbors slice a zero-copy view
+// into the CSR column array. The lockstep and workers drivers index
+// it; the goroutines driver builds contexts per node goroutine.
+func (nw *Network) contexts() []Context {
+	ctxs := make([]Context, nw.N())
+	for v := range ctxs {
+		ctxs[v].ID = v
+		ctxs[v].Neighbors = nw.topo.Row(v)
+		if nw.di != nil {
+			ctxs[v].Out = nw.di.Out(v)
+			ctxs[v].In = nw.di.In(v)
+		}
+	}
+	return ctxs
 }
 
 // Run executes the protocol given by nodes (one per vertex) on the
@@ -378,9 +438,9 @@ func Run(nw *Network, nodes []Node, cfg Config) (Result, error) {
 // messages stay in send order. That is exactly the ordering the old
 // per-inbox stable sort produced, so no sorting happens anywhere.
 type router struct {
-	nw  *Network
-	cfg Config
-	res Result
+	topo *graph.CSR
+	cfg  Config
+	res  Result
 	// cur holds the inboxes the drivers are consuming this round; next
 	// is the arena route fills for the following round. flush swaps
 	// them, so an inbox handed to a node is valid for exactly one
@@ -388,27 +448,35 @@ type router struct {
 	cur, next [][]Message
 	round     int // the round currently being routed (0 = init sends)
 	roundMax  int // largest message sent while routing this round
+
+	// Sharded-routing state (shard.go). shardBounds partitions the
+	// receivers into Config.Shards contiguous ranges balanced by arena
+	// slots; the prep slices are the validation pass's reusable
+	// scratch, grown once and then allocation-free.
+	shardBounds []int
+	prepSenders []int
+	prepOff     []int
+	prepBits    []int
+	prepMax     int
+	shardMsgs   []int
+	shardBits   []int
 }
 
 func newRouter(nw *Network, cfg Config) *router {
-	return &router{nw: nw, cfg: cfg, cur: newInboxArena(nw.g), next: newInboxArena(nw.g)}
+	return &router{topo: nw.topo, cfg: cfg, cur: newInboxArena(nw.topo), next: newInboxArena(nw.topo)}
 }
 
 // newInboxArena carves one flat message buffer into per-node inboxes of
 // capacity deg(v) — the exact per-round inbound slot count of the
-// paper's one-message-per-edge regime.
-func newInboxArena(g *graph.Graph) [][]Message {
-	deg := g.Degrees()
-	total := 0
-	for _, d := range deg {
-		total += d
-	}
-	flat := make([]Message, total)
-	boxes := make([][]Message, len(deg))
-	off := 0
-	for v, d := range deg {
-		boxes[v] = flat[off : off : off+d]
-		off += d
+// paper's one-message-per-edge regime. Slot offsets come straight from
+// the CSR row offsets: the arena is the topology's mirror image.
+func newInboxArena(c *graph.CSR) [][]Message {
+	n := c.N()
+	flat := make([]Message, c.Arcs())
+	boxes := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		off := int(c.RowStart(v))
+		boxes[v] = flat[off : off : off+c.Degree(v)]
 	}
 	return boxes
 }
@@ -434,11 +502,11 @@ func (r *router) route(v int, outs []Outgoing) error {
 			return fmt.Errorf("%w: node %d sent %d bits (cap %d)", ErrBandwidth, v, bits, r.cfg.BandwidthBits)
 		}
 		if o.To == Broadcast {
-			for _, t := range r.nw.g.Neighbors(v) {
+			for _, t := range r.topo.Row(v) {
 				r.deliver(v, t, bits, o.Payload)
 			}
 		} else {
-			if !r.nw.g.HasEdge(v, o.To) {
+			if !r.topo.HasEdge(v, o.To) {
 				return fmt.Errorf("%w: node %d -> %d", ErrNotNeighbor, v, o.To)
 			}
 			r.deliver(v, o.To, bits, o.Payload)
@@ -486,13 +554,10 @@ func (r *router) flush() [][]Message {
 
 func runLockstep(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	n := nw.N()
-	ctxs := make([]*Context, n)
-	for v := 0; v < n; v++ {
-		ctxs[v] = nw.context(v)
-	}
+	ctxs := nw.contexts()
 	rt := newRouter(nw, cfg)
 	for v := 0; v < n; v++ {
-		outs, err := safeInit(nodes[v], ctxs[v])
+		outs, err := safeInit(nodes[v], &ctxs[v])
 		if err != nil {
 			return rt.res, err
 		}
@@ -525,7 +590,7 @@ func runLockstep(nw *Network, nodes []Node, cfg Config) (Result, error) {
 				}
 			}
 			active++
-			outs, fin, err := safeRound(nodes[v], ctxs[v], round, inboxes[v])
+			outs, fin, err := safeRound(nodes[v], &ctxs[v], round, inboxes[v])
 			if err != nil {
 				return rt.res, err
 			}

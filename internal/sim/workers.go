@@ -13,13 +13,10 @@ import (
 // lockstep driver.
 func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 	n := nw.N()
-	ctxs := make([]*Context, n)
-	for v := 0; v < n; v++ {
-		ctxs[v] = nw.context(v)
-	}
+	ctxs := nw.contexts()
 	rt := newRouter(nw, cfg)
 	for v := 0; v < n; v++ {
-		outs, err := safeInit(nodes[v], ctxs[v])
+		outs, err := safeInit(nodes[v], &ctxs[v])
 		if err != nil {
 			return rt.res, err
 		}
@@ -92,39 +89,73 @@ func runWorkers(nw *Network, nodes []Node, cfg Config) (Result, error) {
 					if status != nil && status[v] != NodeUp {
 						continue
 					}
-					outs[v], fins[v], errs[v] = safeRound(nodes[v], ctxs[v], round, inboxes[v])
+					outs[v], fins[v], errs[v] = safeRound(nodes[v], &ctxs[v], round, inboxes[v])
 				}
 			}(active[lo:hi])
 		}
 		wg.Wait()
-		// Route sequentially in id order for determinism; a panic is
-		// surfaced for the smallest failing id, like the other drivers.
-		// The same pass compacts active in place: keep reuses active's
-		// backing array and never outruns the read cursor, so the order
-		// stays ascending and no per-round allocation happens.
-		keep := active[:0]
-		for _, v := range active {
-			if status != nil {
-				switch status[v] {
-				case NodeDowned:
-					keep = append(keep, v) // skipped this round, state kept
-					continue
-				case NodeCrashed:
-					continue // dropped from the run without a final Round
+		// Deliver the round's sends. The sharded path (shard.go) routes
+		// concurrently across receiver ranges after a validation
+		// prepass; it declines rounds containing any node error or
+		// protocol violation, and those fall through to the sequential
+		// reference loop below, which reproduces the exact partial
+		// statistics and error attribution of a sequential run (the
+		// prepass mutates no router output state). Both paths fill
+		// every inbox in ascending sender id, send order within a
+		// sender — the engine-wide delivery-order guarantee.
+		routed := false
+		if shards := cfg.routingShards(); shards > 1 && rt.prepare(active, status, outs, errs) {
+			rt.deliverSharded(outs, shards)
+			keep := active[:0]
+			for _, v := range active {
+				if status != nil {
+					switch status[v] {
+					case NodeDowned:
+						keep = append(keep, v) // skipped this round, state kept
+						continue
+					case NodeCrashed:
+						continue // dropped from the run without a final Round
+					}
+				}
+				outs[v] = nil
+				if !fins[v] {
+					keep = append(keep, v)
 				}
 			}
-			if errs[v] != nil {
-				return rt.res, errs[v]
-			}
-			if err := rt.route(v, outs[v]); err != nil {
-				return rt.res, fmt.Errorf("round %d, node %d: %w", round, v, err)
-			}
-			outs[v] = nil
-			if !fins[v] {
-				keep = append(keep, v)
-			}
+			active = keep
+			routed = true
 		}
-		active = keep
+		if !routed {
+			// Route sequentially in id order for determinism; a panic
+			// is surfaced for the smallest failing id, like the other
+			// drivers. The same pass compacts active in place: keep
+			// reuses active's backing array and never outruns the read
+			// cursor, so the order stays ascending and no per-round
+			// allocation happens.
+			keep := active[:0]
+			for _, v := range active {
+				if status != nil {
+					switch status[v] {
+					case NodeDowned:
+						keep = append(keep, v) // skipped this round, state kept
+						continue
+					case NodeCrashed:
+						continue // dropped from the run without a final Round
+					}
+				}
+				if errs[v] != nil {
+					return rt.res, errs[v]
+				}
+				if err := rt.route(v, outs[v]); err != nil {
+					return rt.res, fmt.Errorf("round %d, node %d: %w", round, v, err)
+				}
+				outs[v] = nil
+				if !fins[v] {
+					keep = append(keep, v)
+				}
+			}
+			active = keep
+		}
 		rt.res.Rounds = round
 		if cfg.OnRound != nil {
 			cfg.OnRound(RoundStats{

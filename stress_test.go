@@ -88,6 +88,53 @@ func TestStressEdgeColorDenser(t *testing.T) {
 	}
 }
 
+func TestStressStreamedCSRLinialMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// End-to-end over the streamed substrate: build a 10⁶-node ring as
+	// CSR (no adjacency maps), bridge to the solver's adjacency-list
+	// interface, and properly color it in the log* regime.
+	c := NewStreamedRing(1_000_000)
+	if c.N() != 1_000_000 || c.M() != 1_000_000 {
+		t.Fatalf("streamed ring: %v", c)
+	}
+	g := c.Graph()
+	if c.Fingerprint() != g.Fingerprint() {
+		t.Fatalf("CSR/Graph fingerprint mismatch")
+	}
+	res, err := LinialColor(g, Config{Driver: Workers, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := IsProperColoring(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds > 10 {
+		t.Errorf("log*(1e6) regime needs ≤ 10 rounds, got %d", res.Stats.Rounds)
+	}
+}
+
+func TestStressStreamedGNPBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// The streamed G(n,p) build must agree with the map-built generator
+	// path on structural invariants at a size where the reference
+	// builder itself is the bottleneck.
+	c := NewStreamedGNP(500_000, 6.0/500_000, 7)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var degSum int64
+	for v := 0; v < c.N(); v++ {
+		degSum += int64(c.Degree(v))
+	}
+	if degSum != 2*c.M() {
+		t.Fatalf("degree sum %d != 2m %d", degSum, 2*c.M())
+	}
+}
+
 func TestStressGeneralSolverMedium(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")
