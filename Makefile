@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-scale bench bench-sim bench-local bench-harness fuzz tables cover conform conformance clean
+.PHONY: all build vet test race test-scale bench bench-sim bench-local bench-harness bench-service race-service fuzz tables cover conform conformance clean
 
 all: build vet test
 
@@ -40,6 +40,15 @@ bench-local:
 # Sweep-scheduler throughput report (docs/TESTING.md §BENCH_harness.json).
 bench-harness:
 	$(GO) run ./cmd/benchtab -harness > BENCH_harness.json
+
+# Incremental-service churn measurements live in the `service` section
+# of the same document (docs/TESTING.md §Service tests).
+bench-service: bench-harness
+
+# Concurrent read/write soak of the incremental service under the race
+# detector (the CI race job runs this alongside the full -race sweep).
+race-service:
+	$(GO) test -race -count 2 -run 'Concurrent' ./internal/service
 
 fuzz:
 	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 15s ./internal/graph

@@ -3,6 +3,7 @@ package listcolor
 import (
 	"io"
 	"math/rand"
+	"net/http"
 
 	"listcolor/internal/baseline"
 	"listcolor/internal/coloring"
@@ -14,6 +15,7 @@ import (
 	"listcolor/internal/linial"
 	"listcolor/internal/nbhood"
 	"listcolor/internal/quality"
+	"listcolor/internal/service"
 	"listcolor/internal/sim"
 	"listcolor/internal/twosweep"
 )
@@ -454,6 +456,59 @@ func NewRandomHypergraph(n, m, rank int, seed int64) *Hypergraph {
 func HyperedgeColor(h *Hypergraph, cfg Config) (edgeColors []int, palette int, stats Stats, err error) {
 	return nbhood.HyperedgeColor(h, cfg)
 }
+
+// ---------------------------------------------------------------------------
+// Incremental coloring service.
+
+// ColorService is a long-running incremental coloring maintainer: it
+// holds a valid list defective coloring over a mutable overlay of a
+// CSRGraph substrate and repairs it locally after every applied batch
+// of topology/list updates (bounded deterministic repair rounds,
+// billed as maintenance cost). Reads are lock-free snapshot loads;
+// writes are serialized. cmd/colord wraps it in an HTTP daemon.
+type ColorService = service.Service
+
+// ServiceOp is one churn operation (add_edge, remove_edge, add_node,
+// remove_node, set_list) for ColorService.ApplyBatch.
+type ServiceOp = service.Op
+
+// ServiceOptions bounds the service's repair rounds per batch and the
+// overlay compaction threshold.
+type ServiceOptions = service.Options
+
+// ServiceBatchReport is the maintenance account of one applied batch:
+// dirty set size, absorbed vs hard conflicts, repair rounds, recolored
+// nodes, fallbacks, and message/bit billing.
+type ServiceBatchReport = service.BatchReport
+
+// ServiceStats is the service's running maintenance account
+// (GET /v1/stats in the HTTP surface).
+type ServiceStats = service.Stats
+
+// Churn op actions for ServiceOp.Action.
+const (
+	OpAddEdge    = service.OpAddEdge
+	OpRemoveEdge = service.OpRemoveEdge
+	OpAddNode    = service.OpAddNode
+	OpRemoveNode = service.OpRemoveNode
+	OpSetList    = service.OpSetList
+)
+
+// NewColorService starts an incremental coloring service over base.
+// A nil colors initializes greedily and repairs to validity; otherwise
+// the given coloring is repaired if damaged.
+func NewColorService(base *CSRGraph, inst *Instance, colors []int, opts ServiceOptions) (*ColorService, error) {
+	return service.New(base, inst, colors, opts)
+}
+
+// NewServiceHandler returns the service's HTTP surface
+// (POST /v1/updates, GET /v1/color/{node}, GET /v1/colors,
+// GET /v1/stats) — the handler cmd/colord serves.
+func NewServiceHandler(s *ColorService) http.Handler { return service.NewHandler(s) }
+
+// NewCSRFromGraph converts an adjacency-list Graph to the immutable
+// CSR form the service (and the web-scale simulation path) runs on.
+func NewCSRFromGraph(g *Graph) *CSRGraph { return graph.CSRFromGraph(g) }
 
 // ---------------------------------------------------------------------------
 // Baselines.

@@ -65,4 +65,29 @@ func TestHarnessBenchShape(t *testing.T) {
 			t.Errorf("entry %d (workers=%d): no workload-cache hits — graph reuse is broken", i, e.Workers)
 		}
 	}
+	// The service section: one entry per churn workload, each carrying
+	// the acceptance measurements (updates/sec, recolor locality, p99
+	// read latency under concurrent write load) and a clean post-run
+	// validity scan.
+	workloads := bench.ServiceWorkloads(true)
+	if len(rep.Service) != len(workloads) {
+		t.Fatalf("service section has %d entries, want %d", len(rep.Service), len(workloads))
+	}
+	for i, e := range rep.Service {
+		if e.Workload == "" || e.Nodes <= 0 || e.Updates <= 0 || e.Batches <= 0 {
+			t.Errorf("service entry %d: incomplete workload description %+v", i, e)
+		}
+		if e.UpdatesPerSec <= 0 {
+			t.Errorf("service entry %d (%s): updates_per_sec = %v", i, e.Workload, e.UpdatesPerSec)
+		}
+		if e.LocalityMean <= 0 || e.LocalityP95 < e.LocalityP50 || e.LocalityMax < e.LocalityP95 {
+			t.Errorf("service entry %d (%s): implausible locality quantiles %+v", i, e.Workload, e)
+		}
+		if e.Reads <= 0 || e.ReadP50Us <= 0 || e.ReadP99Us < e.ReadP50Us {
+			t.Errorf("service entry %d (%s): implausible read latency %+v", i, e.Workload, e)
+		}
+		if !e.Valid {
+			t.Errorf("service entry %d (%s): post-churn coloring failed the validity scan", i, e.Workload)
+		}
+	}
 }

@@ -149,6 +149,10 @@ func runHarnessBench(out io.Writer, quick bool, seed int64) error {
 	if err != nil {
 		return err
 	}
+	svc, err := bench.RunServiceBench(quick)
+	if err != nil {
+		return err
+	}
 	rep := bench.HarnessBenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Note: "Sweep-scheduler throughput: one full bench.All per worker budget (best of 3). " +
@@ -156,11 +160,15 @@ func runHarnessBench(out io.Writer, quick bool, seed int64) error {
 			"current = this build. tables_identical_to_sequential verifies the determinism contract on every run. " +
 			"Speedups are bounded by the host's core count — on a single-CPU container parallel wall time " +
 			"matches sequential, and only the byte-identity and cache columns carry information. " +
-			"Refresh with `make bench-harness`.",
+			"service = incremental coloring service under churn: updates/sec through the single-writer " +
+			"apply loop (repair included), recolor locality per batch, and read latency through " +
+			"net/http/httptest while a writer keeps applying batches. " +
+			"Refresh with `make bench-harness` (or `make bench-service`, same file).",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Baseline:   bench.HarnessBenchBaseline(),
 		Current:    cur,
+		Service:    svc,
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

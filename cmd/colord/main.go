@@ -1,0 +1,217 @@
+// Command colord is the incremental coloring daemon: it builds a
+// streamed graph substrate, initializes a valid list defective
+// coloring, and then maintains it under churn — either as an HTTP
+// server (POST /v1/updates, GET /v1/color/{node}, GET /v1/colors,
+// GET /v1/stats) or as a scripted offline churn run that applies a
+// deterministic update stream, scans validity between batches, and
+// prints the maintenance account.
+//
+// Examples:
+//
+//	colord -graph ring -n 1000000 -addr :8080
+//	colord -graph gnp -n 100000 -prob 0.0001 -churn 100000 -batch 1000
+//	colord -graph powerlaw -n 1000000 -k 4 -churn 100000 -verify
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+	"listcolor/internal/service"
+)
+
+func main() {
+	var (
+		graphKind = flag.String("graph", "ring", "graph family: ring|gnp|powerlaw (streamed CSR builds)")
+		n         = flag.Int("n", 1_000_000, "number of vertices")
+		prob      = flag.Float64("prob", 1e-5, "edge probability for gnp")
+		k         = flag.Int("k", 3, "attachment count for powerlaw")
+		seed      = flag.Int64("seed", 1, "graph and churn seed")
+		headroom  = flag.Int("headroom", 4, "palette size = max degree + headroom (shared full-palette lists)")
+		defect    = flag.Int("defect", 0, "defect budget per list color")
+		budget    = flag.Int("budget", 0, "repair round budget per batch (0 = 2n+16)")
+		compact   = flag.Int("compact", 0, "overlay compaction threshold in patched vertices (0 = max(1024, n/8))")
+		addr      = flag.String("addr", ":8080", "HTTP listen address (server mode)")
+		churn     = flag.Int("churn", 0, "scripted mode: apply this many updates and exit (0 = serve HTTP)")
+		batch     = flag.Int("batch", 1000, "scripted mode: updates per batch")
+		verify    = flag.Bool("verify", false, "scripted mode: full conflict scan after every batch")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	var base *graph.CSR
+	switch *graphKind {
+	case "ring":
+		base = graph.StreamedRing(*n)
+	case "gnp":
+		base = graph.StreamedGNP(*n, *prob, *seed)
+	case "powerlaw":
+		base = graph.StreamedPowerLaw(*n, *k, *seed)
+	default:
+		fatalf("unknown graph family %q", *graphKind)
+	}
+	fmt.Printf("substrate: %v built in %.2fs\n", base, time.Since(start).Seconds())
+
+	space := base.RawMaxDegree() + *headroom
+	if space < 3 {
+		space = 3
+	}
+	inst := sharedPalette(base.N(), space, *defect)
+
+	start = time.Now()
+	svc, err := service.New(base, inst, nil, service.Options{
+		RoundBudget:      *budget,
+		CompactThreshold: *compact,
+	})
+	if err != nil {
+		fatalf("service init: %v", err)
+	}
+	fmt.Printf("coloring: %d nodes over palette [0,%d) initialized in %.2fs\n",
+		svc.N(), space, time.Since(start).Seconds())
+
+	if *churn > 0 {
+		runChurn(svc, space, *churn, *batch, *seed, *verify)
+		return
+	}
+
+	fmt.Printf("listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, service.NewHandler(svc)); err != nil {
+		fatalf("serve: %v", err)
+	}
+}
+
+// sharedPalette gives every node the full palette [0, space) with a
+// uniform defect budget — the maintenance-friendly instance shape:
+// feasibility survives any churn that keeps degrees below
+// space·(defect+1).
+func sharedPalette(n, space, defect int) *coloring.Instance {
+	full := make([]int, space)
+	defs := make([]int, space)
+	for i := range full {
+		full[i] = i
+		defs[i] = defect
+	}
+	inst := &coloring.Instance{Space: space, Lists: make([][]int, n), Defects: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		inst.Lists[v] = full
+		inst.Defects[v] = defs
+	}
+	return inst
+}
+
+// runChurn is the scripted mode: a deterministic random edge churn
+// stream (inserts and deletes in roughly equal measure, degrees kept
+// within palette feasibility), applied in batches with the
+// maintenance account printed at the end. With -verify every batch is
+// followed by a full conflict scan; any violation exits nonzero.
+func runChurn(svc *service.Service, space, churn, batchSize int, seed int64, verify bool) {
+	rng := rand.New(rand.NewSource(seed * 7919))
+	applied, batches, maxRounds, violations := 0, 0, 0, 0
+	start := time.Now()
+	probe := newEdgeProbe(svc)
+	for applied < churn {
+		var ops []service.Op
+		for len(ops) < batchSize {
+			u, v := rng.Intn(svc.N()), rng.Intn(svc.N())
+			if u == v {
+				continue
+			}
+			switch {
+			case probe.hasEdge(u, v):
+				ops = append(ops, service.Op{Action: service.OpRemoveEdge, U: u, V: v})
+				probe.note(u, v, false)
+			case probe.degree(u) < space-2 && probe.degree(v) < space-2:
+				ops = append(ops, service.Op{Action: service.OpAddEdge, U: u, V: v})
+				probe.note(u, v, true)
+			}
+		}
+		rep, err := svc.ApplyBatch(ops)
+		if err != nil {
+			fatalf("batch %d: %v", batches, err)
+		}
+		probe.reset()
+		applied += rep.Applied
+		batches++
+		if rep.Rounds > maxRounds {
+			maxRounds = rep.Rounds
+		}
+		if verify {
+			if err := svc.ValidateState(); err != nil {
+				violations++
+				fmt.Fprintf(os.Stderr, "VALIDITY VIOLATION after batch %d: %v\n", batches, err)
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+
+	st := svc.Stats()
+	fmt.Printf("churn: %d updates in %d batches, %.2fs wall (%.0f upd/s), max %d repair rounds/batch\n",
+		applied, batches, elapsed, float64(applied)/elapsed, maxRounds)
+	out, _ := json.MarshalIndent(st, "", "  ")
+	fmt.Println(string(out))
+	if verify {
+		if violations > 0 {
+			fatalf("%d validity violations", violations)
+		}
+		fmt.Println("verified: zero validity violations between batches")
+	}
+}
+
+// edgeProbe answers hasEdge/degree questions for churn generation:
+// the service's read API plus the delta of the current (not yet
+// applied) batch, reset once the batch lands. Since the generator is
+// the only writer, its view stays exact.
+type edgeProbe struct {
+	svc   *service.Service
+	delta map[[2]int]bool // edge states pending in the current batch
+	deg   map[int]int     // degree deltas pending in the current batch
+}
+
+func newEdgeProbe(svc *service.Service) *edgeProbe {
+	return &edgeProbe{svc: svc, delta: make(map[[2]int]bool), deg: make(map[int]int)}
+}
+
+func key(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func (p *edgeProbe) hasEdge(u, v int) bool {
+	if state, ok := p.delta[key(u, v)]; ok {
+		return state
+	}
+	return p.svc.HasEdge(u, v)
+}
+
+func (p *edgeProbe) degree(v int) int {
+	return p.svc.DegreeOf(v) + p.deg[v]
+}
+
+func (p *edgeProbe) reset() {
+	clear(p.delta)
+	clear(p.deg)
+}
+
+func (p *edgeProbe) note(u, v int, present bool) {
+	p.delta[key(u, v)] = present
+	d := -1
+	if present {
+		d = 1
+	}
+	p.deg[u] += d
+	p.deg[v] += d
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "colord: "+format+"\n", args...)
+	os.Exit(1)
+}

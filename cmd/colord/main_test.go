@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+
+	"listcolor/internal/graph"
+	"listcolor/internal/service"
+)
+
+func TestSharedPalette(t *testing.T) {
+	inst := sharedPalette(10, 5, 1)
+	if inst.N() != 10 || inst.Space != 5 {
+		t.Fatalf("inst = n %d, space %d", inst.N(), inst.Space)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := inst.DefectOf(3, 4); !ok || d != 1 {
+		t.Fatalf("DefectOf = (%d, %v)", d, ok)
+	}
+}
+
+func TestScriptedChurnSmoke(t *testing.T) {
+	base := graph.StreamedRing(2000)
+	space := base.RawMaxDegree() + 4
+	svc, err := service.New(base, sharedPalette(base.N(), space, 0), nil, service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runChurn(svc, space, 2000, 200, 5, true) // exits nonzero on any violation
+	st := svc.Stats()
+	if st.Updates < 2000 || st.Batches != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := svc.ValidateState(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeProbeTracksPendingBatch(t *testing.T) {
+	base := graph.StreamedRing(10)
+	svc, err := service.New(base, sharedPalette(10, 5, 0), nil, service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newEdgeProbe(svc)
+	if !p.hasEdge(0, 1) || p.hasEdge(0, 5) {
+		t.Fatal("probe disagrees with substrate")
+	}
+	p.note(0, 5, true)
+	if !p.hasEdge(0, 5) || !p.hasEdge(5, 0) || p.degree(0) != 3 {
+		t.Fatal("pending insert not visible")
+	}
+	p.note(0, 1, false)
+	if p.hasEdge(0, 1) || p.degree(0) != 2 {
+		t.Fatal("pending delete not visible")
+	}
+	p.reset()
+	if !p.hasEdge(0, 1) || p.hasEdge(0, 5) || p.degree(0) != 2 {
+		t.Fatal("reset did not drop pending state")
+	}
+}

@@ -89,6 +89,69 @@ func main() {
 	fmt.Printf("worst realized interference: %d (every AP within its per-channel budget)\n", worstLoad)
 	fmt.Printf("cost: %d rounds (bootstrap %d + two sweeps over q=%d classes), max message %d bits\n",
 		base.Stats.Rounds+res.Stats.Rounds, base.Stats.Rounds, base.Palette, res.Stats.MaxMessageBits)
+
+	liveChurn(g, inst, rng)
+}
+
+// liveChurn keeps the same deployment running as a live workload: APs
+// move, so interference links appear and disappear in batches, and the
+// incremental coloring service repairs the channel assignment locally
+// after each batch instead of re-solving the deployment. Budgets here
+// are undirected — every licensed channel tolerates one interfering
+// neighbor — so Σ_x(d_v(x)+1) = 2·channelsPer covers every degree the
+// churn guard admits.
+func liveChurn(g *listcolor.Graph, inst *listcolor.Instance, rng *rand.Rand) {
+	churnInst := listcolor.NewInstance(numAPs, numChannels)
+	for v := 0; v < numAPs; v++ {
+		churnInst.Lists[v] = inst.Lists[v]
+		ones := make([]int, len(inst.Lists[v]))
+		for i := range ones {
+			ones[i] = 1
+		}
+		churnInst.Defects[v] = ones
+	}
+	svc, err := listcolor.NewColorService(listcolor.NewCSRFromGraph(g), churnInst, nil, listcolor.ServiceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		batches  = 40
+		perBatch = 25
+		maxDeg   = 2*channelsPer - 2 // keep Σ(d_v(x)+1) > deg(v) under churn
+	)
+	applied, recolored, hard, absorbed := 0, 0, 0, 0
+	for b := 0; b < batches; b++ {
+		var ops []listcolor.ServiceOp
+		for len(ops) < perBatch {
+			u, v := rng.Intn(numAPs), rng.Intn(numAPs)
+			if u == v {
+				continue
+			}
+			switch {
+			case svc.HasEdge(u, v):
+				ops = append(ops, listcolor.ServiceOp{Action: listcolor.OpRemoveEdge, U: u, V: v})
+			case svc.DegreeOf(u) < maxDeg && svc.DegreeOf(v) < maxDeg:
+				ops = append(ops, listcolor.ServiceOp{Action: listcolor.OpAddEdge, U: u, V: v})
+			}
+		}
+		rep, err := svc.ApplyBatch(ops)
+		if err != nil {
+			log.Fatalf("churn batch %d: %v", b, err)
+		}
+		applied += rep.Applied
+		recolored += rep.Recolored
+		hard += rep.Hard
+		absorbed += rep.Absorbed
+	}
+	if err := svc.ValidateState(); err != nil {
+		log.Fatalf("live assignment violates a budget after churn: %v", err)
+	}
+	st := svc.Stats()
+	fmt.Printf("\nlive churn: %d link updates in %d batches — %d conflicts absorbed by budgets, %d hard conflicts\n",
+		applied, batches, absorbed, hard)
+	fmt.Printf("maintenance: %d APs retuned (%.2f per update), %d repair rounds, every budget still met\n",
+		recolored, st.RecolorLocality, st.RepairRounds)
 }
 
 func sortInts(xs []int) {

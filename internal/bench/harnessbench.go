@@ -51,6 +51,11 @@ type HarnessBenchReport struct {
 	NumCPU     int                 `json:"num_cpu"`
 	Baseline   []HarnessBenchEntry `json:"baseline"`
 	Current    []HarnessBenchEntry `json:"current"`
+	// Service holds the incremental-service churn measurements
+	// (servicebench.go): updates/sec, recolor locality, and p99 read
+	// latency under concurrent write load. Refreshed by
+	// `make bench-service`.
+	Service []ServiceBenchEntry `json:"service"`
 }
 
 // HarnessWorkerBudgets returns the worker budgets a harness-bench run

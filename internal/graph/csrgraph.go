@@ -190,6 +190,11 @@ func (c *CSR) RowStart(v int) int64 { return c.rowPtr[v] }
 // column array: zero-copy, owned by the CSR, and must not be modified.
 func (c *CSR) Row(v int) []int { return c.col[c.rowPtr[v]:c.rowPtr[v+1]] }
 
+// Neighbors is Row under the name the adjacency-list Graph uses, so a
+// CSR satisfies the same read-only topology interfaces (repair.Heal,
+// the incremental service) without conversion.
+func (c *CSR) Neighbors(v int) []int { return c.Row(v) }
+
 // HasEdge reports whether the edge {u, v} is present, by binary search
 // over the shorter of the two rows.
 func (c *CSR) HasEdge(u, v int) bool {

@@ -1,0 +1,265 @@
+package graph
+
+// Overlay is the mutable delta-adjacency layer over an immutable CSR:
+// the incremental coloring service's topology under streaming churn.
+// Reads on untouched vertices are zero-copy views into the base CSR's
+// column array — the 10⁶-node substrate stays flat — while a vertex
+// touched by an insert or delete gets a private copy-on-write row
+// (sorted, duplicate-free, exactly the CSR row invariants). Vertices
+// appended beyond the base are pure patch rows; removing a vertex
+// detaches all incident edges and leaves an isolated tombstone so ids
+// stay stable for the color arrays layered on top.
+//
+// The patch map grows with the touched-vertex count, not the update
+// count; Compact folds everything back into a fresh CSR (via the same
+// two-pass StreamCSR build as the streaming generators) so a
+// long-running service can bound overlay memory by compacting
+// periodically.
+//
+// An Overlay is not safe for concurrent use; the service layer
+// serializes writers and hands readers immutable snapshots instead.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Overlay layers per-vertex insert/delete patches over a base CSR.
+type Overlay struct {
+	base *CSR
+	// rows holds the private adjacency of every patched vertex,
+	// including all vertices ≥ base.N(). A present entry fully
+	// replaces the base row (copy-on-write semantics).
+	rows map[int][]int
+	n    int
+	arcs int64
+}
+
+// NewOverlay returns an overlay with no patches over base.
+func NewOverlay(base *CSR) *Overlay {
+	return &Overlay{base: base, rows: make(map[int][]int), n: base.N(), arcs: base.Arcs()}
+}
+
+// N returns the current vertex count (base plus appended vertices).
+func (o *Overlay) N() int { return o.n }
+
+// M returns the current undirected edge count.
+func (o *Overlay) M() int64 { return o.arcs / 2 }
+
+// Arcs returns the directed-edge count 2·M.
+func (o *Overlay) Arcs() int64 { return o.arcs }
+
+// Patched returns the number of vertices with a private row — the
+// overlay memory the next Compact reclaims.
+func (o *Overlay) Patched() int { return len(o.rows) }
+
+// Base returns the immutable CSR under the patches.
+func (o *Overlay) Base() *CSR { return o.base }
+
+// Neighbors returns v's sorted neighbor list: a zero-copy view into
+// the base CSR for unpatched vertices, the private patch row
+// otherwise. The slice is owned by the overlay and must not be
+// modified; it is valid until the next mutation of v or Compact.
+func (o *Overlay) Neighbors(v int) []int {
+	if row, ok := o.rows[v]; ok {
+		return row
+	}
+	return o.base.Row(v)
+}
+
+// Degree returns the degree of v.
+func (o *Overlay) Degree(v int) int {
+	if row, ok := o.rows[v]; ok {
+		return len(row)
+	}
+	return o.base.Degree(v)
+}
+
+// HasEdge reports whether the edge {u, v} is present, by binary search
+// on u's current row.
+func (o *Overlay) HasEdge(u, v int) bool {
+	if u < 0 || u >= o.n || v < 0 || v >= o.n || u == v {
+		return false
+	}
+	row := o.Neighbors(u)
+	i := sort.SearchInts(row, v)
+	return i < len(row) && row[i] == v
+}
+
+// row returns v's private patch row, creating it as a copy of the base
+// row on first mutation.
+func (o *Overlay) row(v int) []int {
+	if r, ok := o.rows[v]; ok {
+		return r
+	}
+	var r []int
+	if v < o.base.N() {
+		r = append([]int(nil), o.base.Row(v)...)
+	}
+	o.rows[v] = r
+	return r
+}
+
+// AddNode appends an isolated vertex and returns its id.
+func (o *Overlay) AddNode() int {
+	v := o.n
+	o.n++
+	o.rows[v] = nil
+	return v
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops, out-of-range
+// endpoints and duplicate edges are errors (the CSR invariants).
+func (o *Overlay) AddEdge(u, v int) error {
+	if u < 0 || u >= o.n || v < 0 || v >= o.n {
+		return fmt.Errorf("%w: edge {%d,%d} in overlay on %d vertices", ErrVertexRange, u, v, o.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, v)
+	}
+	if o.HasEdge(u, v) {
+		return fmt.Errorf("%w: {%d,%d}", ErrParallelEdge, u, v)
+	}
+	o.insert(u, v)
+	o.insert(v, u)
+	o.arcs += 2
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge {u, v}; it reports whether
+// the edge was present.
+func (o *Overlay) RemoveEdge(u, v int) bool {
+	if !o.HasEdge(u, v) {
+		return false
+	}
+	o.remove(u, v)
+	o.remove(v, u)
+	o.arcs -= 2
+	return true
+}
+
+// RemoveNode detaches every edge incident to v, leaving v as an
+// isolated tombstone (ids never shift). It returns v's former
+// neighbors — the churn dirty set the caller reclassifies — or nil
+// when v is out of range or already isolated.
+func (o *Overlay) RemoveNode(v int) []int {
+	if v < 0 || v >= o.n {
+		return nil
+	}
+	old := o.Neighbors(v)
+	if len(old) == 0 {
+		return nil
+	}
+	former := append([]int(nil), old...)
+	for _, w := range former {
+		o.remove(w, v)
+	}
+	o.rows[v] = []int{}
+	o.arcs -= 2 * int64(len(former))
+	return former
+}
+
+// insert places w into v's private row, keeping it sorted.
+func (o *Overlay) insert(v, w int) {
+	row := o.row(v)
+	i := sort.SearchInts(row, w)
+	row = append(row, 0)
+	copy(row[i+1:], row[i:])
+	row[i] = w
+	o.rows[v] = row
+}
+
+// remove deletes w from v's private row.
+func (o *Overlay) remove(v, w int) {
+	row := o.row(v)
+	i := sort.SearchInts(row, w)
+	if i < len(row) && row[i] == w {
+		o.rows[v] = append(row[:i], row[i+1:]...)
+	}
+}
+
+// EdgeStream returns a replayable stream of the overlay's current
+// edges ({u,v} with u < v, emitted in ascending u then v) — the input
+// Compact feeds to the two-pass CSR build. Mutating the overlay
+// between the two replays is the caller's bug (StreamCSR detects the
+// divergence).
+func (o *Overlay) EdgeStream() EdgeStream {
+	return func(emit func(u, v int)) {
+		for u := 0; u < o.n; u++ {
+			for _, v := range o.Neighbors(u) {
+				if v > u {
+					emit(u, v)
+				}
+			}
+		}
+	}
+}
+
+// Compact folds base plus patches into a fresh CSR and resets the
+// overlay onto it: patch memory is released and every subsequent read
+// is a zero-copy base read again.
+func (o *Overlay) Compact() (*CSR, error) {
+	c, err := StreamCSR(o.n, o.EdgeStream())
+	if err != nil {
+		return nil, err
+	}
+	o.base = c
+	o.rows = make(map[int][]int)
+	o.arcs = c.Arcs()
+	return c, nil
+}
+
+// Graph materializes an adjacency-list copy of the overlay's current
+// state — validation and differential-test paths only (it allocates
+// per-node slices).
+func (o *Overlay) Graph() *Graph {
+	g := New(o.n)
+	for v := 0; v < o.n; v++ {
+		for _, w := range o.Neighbors(v) {
+			if w > v {
+				g.MustAddEdge(v, w)
+			}
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// Validate checks the overlay invariants: sorted duplicate-free rows,
+// no self-loops, in-range neighbors, symmetry, and an arc count
+// matching the rows.
+func (o *Overlay) Validate() error {
+	var arcs int64
+	for v := 0; v < o.n; v++ {
+		row := o.Neighbors(v)
+		arcs += int64(len(row))
+		prev := -1
+		for _, w := range row {
+			if w == v {
+				return fmt.Errorf("%w at vertex %d", ErrSelfLoop, v)
+			}
+			if w < 0 || w >= o.n {
+				return fmt.Errorf("%w: neighbor %d of %d", ErrVertexRange, w, v)
+			}
+			if w == prev {
+				return fmt.Errorf("%w: {%d,%d}", ErrParallelEdge, v, w)
+			}
+			if w < prev {
+				return fmt.Errorf("graph: overlay row %d not sorted", v)
+			}
+			prev = w
+			if !o.HasEdge(w, v) {
+				return fmt.Errorf("graph: asymmetric overlay adjacency %d->%d", v, w)
+			}
+		}
+	}
+	if arcs != o.arcs {
+		return fmt.Errorf("graph: overlay arc count %d, rows sum to %d", o.arcs, arcs)
+	}
+	return nil
+}
+
+// String returns a short human-readable summary.
+func (o *Overlay) String() string {
+	return fmt.Sprintf("Overlay(n=%d, m=%d, patched=%d)", o.n, o.M(), len(o.rows))
+}

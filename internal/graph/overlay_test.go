@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestOverlayZeroCopyReads pins the overlay's core memory contract:
+// reading an untouched vertex returns the base CSR's row (same backing
+// array), and only mutated vertices acquire patch rows.
+func TestOverlayZeroCopyReads(t *testing.T) {
+	c := StreamedRing(16)
+	o := NewOverlay(c)
+	base := c.Row(3)
+	got := o.Neighbors(3)
+	if &got[0] != &base[0] {
+		t.Fatal("unpatched read is not a zero-copy view into the base CSR")
+	}
+	if err := o.AddEdge(3, 8); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if o.Patched() != 2 {
+		t.Fatalf("Patched = %d after one insert, want 2", o.Patched())
+	}
+	if &o.Neighbors(5)[0] != &c.Row(5)[0] {
+		t.Fatal("vertex 5 lost its zero-copy view")
+	}
+}
+
+// TestOverlayMutations drives inserts, deletes, node appends and node
+// removals and checks the overlay against a map-built reference graph
+// after every operation.
+func TestOverlayMutations(t *testing.T) {
+	c := StreamedRing(10)
+	o := NewOverlay(c)
+	ref := c.Graph()
+
+	check := func(step string) {
+		t.Helper()
+		if err := o.Validate(); err != nil {
+			t.Fatalf("%s: overlay invalid: %v", step, err)
+		}
+		if o.N() != ref.N() {
+			t.Fatalf("%s: n = %d, want %d", step, o.N(), ref.N())
+		}
+		if o.M() != int64(ref.M()) {
+			t.Fatalf("%s: m = %d, want %d", step, o.M(), ref.M())
+		}
+		if o.Graph().Fingerprint() != ref.Fingerprint() {
+			t.Fatalf("%s: structure diverged from reference", step)
+		}
+	}
+
+	if err := o.AddEdge(0, 5); err != nil {
+		t.Fatalf("AddEdge(0,5): %v", err)
+	}
+	ref.MustAddEdge(0, 5)
+	check("insert chord")
+
+	if !o.RemoveEdge(2, 3) {
+		t.Fatal("RemoveEdge(2,3) reported absent")
+	}
+	ref.RemoveEdge(2, 3)
+	check("delete ring edge")
+
+	if o.RemoveEdge(2, 3) {
+		t.Fatal("double RemoveEdge(2,3) reported present")
+	}
+
+	v := o.AddNode()
+	if v != 10 {
+		t.Fatalf("AddNode id = %d, want 10", v)
+	}
+	ref2 := New(11)
+	for _, e := range ref.Edges() {
+		ref2.MustAddEdge(e[0], e[1])
+	}
+	ref = ref2
+	check("append node")
+
+	if err := o.AddEdge(v, 4); err != nil {
+		t.Fatalf("AddEdge(new,4): %v", err)
+	}
+	ref.MustAddEdge(v, 4)
+	check("attach new node")
+
+	former := o.RemoveNode(1)
+	if len(former) != 2 {
+		t.Fatalf("RemoveNode(1) former neighbors = %v, want 2 entries", former)
+	}
+	for _, w := range former {
+		ref.RemoveEdge(1, w)
+	}
+	check("remove node")
+	if o.Degree(1) != 0 {
+		t.Fatalf("tombstone degree = %d", o.Degree(1))
+	}
+	if got := o.RemoveNode(1); got != nil {
+		t.Fatalf("second RemoveNode(1) = %v, want nil", got)
+	}
+}
+
+// TestOverlayRejects pins the error cases: self-loops, out-of-range
+// endpoints, duplicate edges.
+func TestOverlayRejects(t *testing.T) {
+	o := NewOverlay(StreamedRing(6))
+	if err := o.AddEdge(2, 2); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self-loop: %v", err)
+	}
+	if err := o.AddEdge(0, 6); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("out of range: %v", err)
+	}
+	if err := o.AddEdge(0, 1); !errors.Is(err, ErrParallelEdge) {
+		t.Errorf("duplicate ring edge: %v", err)
+	}
+	if o.HasEdge(-1, 0) || o.HasEdge(0, 0) {
+		t.Error("HasEdge accepted junk endpoints")
+	}
+}
+
+// TestOverlayCompact checks that compaction folds patches into a fresh
+// CSR with identical structure, releases the patch map, and keeps the
+// overlay usable afterwards.
+func TestOverlayCompact(t *testing.T) {
+	o := NewOverlay(StreamedRing(12))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 8; i++ {
+		u, v := rng.Intn(12), rng.Intn(12)
+		if u != v && !o.HasEdge(u, v) {
+			if err := o.AddEdge(u, v); err != nil {
+				t.Fatalf("AddEdge: %v", err)
+			}
+		}
+	}
+	o.RemoveEdge(0, 1)
+	nv := o.AddNode()
+	if err := o.AddEdge(nv, 0); err != nil {
+		t.Fatalf("AddEdge(new,0): %v", err)
+	}
+	want := o.Graph().Fingerprint()
+	wantM := o.M()
+
+	c, err := o.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if o.Patched() != 0 {
+		t.Fatalf("Patched = %d after Compact", o.Patched())
+	}
+	if c.Graph().Fingerprint() != want || o.Graph().Fingerprint() != want {
+		t.Fatal("Compact changed the structure")
+	}
+	if o.M() != wantM || c.M() != wantM {
+		t.Fatalf("edge count drifted: overlay %d, csr %d, want %d", o.M(), c.M(), wantM)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("compacted CSR invalid: %v", err)
+	}
+	// The overlay keeps working on the new base.
+	if err := o.AddEdge(2, 7); err != nil && !errors.Is(err, ErrParallelEdge) {
+		t.Fatalf("post-compact AddEdge: %v", err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("post-compact overlay invalid: %v", err)
+	}
+}
+
+// TestOverlayRandomChurnDifferential runs a long random op stream on
+// the overlay and a map-built reference in parallel, with periodic
+// compaction, and demands identical structure throughout.
+func TestOverlayRandomChurnDifferential(t *testing.T) {
+	const n = 40
+	o := NewOverlay(StreamedGNP(n, 0.1, 7))
+	ref := o.Graph()
+	rng := rand.New(rand.NewSource(8))
+	for step := 0; step < 2000; step++ {
+		switch k := rng.Intn(100); {
+		case k < 45:
+			u, v := rng.Intn(o.N()), rng.Intn(o.N())
+			if u == v || o.HasEdge(u, v) {
+				continue
+			}
+			if err := o.AddEdge(u, v); err != nil {
+				t.Fatalf("step %d AddEdge: %v", step, err)
+			}
+			ref.MustAddEdge(u, v)
+		case k < 85:
+			u, v := rng.Intn(o.N()), rng.Intn(o.N())
+			got := o.RemoveEdge(u, v)
+			want := ref.RemoveEdge(u, v)
+			if got != want {
+				t.Fatalf("step %d RemoveEdge(%d,%d) = %v, reference %v", step, u, v, got, want)
+			}
+		case k < 92:
+			v := rng.Intn(o.N())
+			former := o.RemoveNode(v)
+			for _, w := range former {
+				ref.RemoveEdge(v, w)
+			}
+		case k < 97:
+			o.AddNode()
+			g2 := New(ref.N() + 1)
+			for _, e := range ref.Edges() {
+				g2.MustAddEdge(e[0], e[1])
+			}
+			ref = g2
+		default:
+			if _, err := o.Compact(); err != nil {
+				t.Fatalf("step %d Compact: %v", step, err)
+			}
+		}
+		if step%250 == 0 {
+			if err := o.Validate(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if o.Graph().Fingerprint() != ref.Fingerprint() {
+				t.Fatalf("step %d: structure diverged", step)
+			}
+		}
+	}
+	if o.Graph().Fingerprint() != ref.Fingerprint() {
+		t.Fatal("final structure diverged")
+	}
+}

@@ -124,23 +124,19 @@ func PowerLawStream(n, k int, seed int64) EdgeStream {
 		for v := k + 1; v < n; v++ {
 			chosen = chosen[:0]
 			for len(chosen) < k {
+				// Both draw branches produce a bare candidate; acceptance
+				// is decided by attachAccept alone, so the self/dup
+				// rejection covers each branch by construction rather than
+				// by the incidental ranges of the draws (the uniform draw
+				// is bounded by v and the pool only holds vertices that
+				// arrived before v, but neither branch is trusted for it).
 				var t int32
 				if len(targets) == 0 || rng.Float64() < 0.05 {
 					t = int32(rng.Intn(v)) // smoothing: occasionally uniform
 				} else {
 					t = targets[rng.Intn(len(targets))]
 				}
-				if t == int32(v) {
-					continue
-				}
-				dup := false
-				for _, c := range chosen {
-					if c == t {
-						dup = true
-						break
-					}
-				}
-				if !dup {
+				if attachAccept(chosen, t, int32(v)) {
 					chosen = append(chosen, t)
 				}
 			}
@@ -150,6 +146,23 @@ func PowerLawStream(n, k int, seed int64) EdgeStream {
 			}
 		}
 	}
+}
+
+// attachAccept is PowerLawStream's rejection predicate: candidate t
+// may join arriving vertex v's attachment set iff it is not v itself
+// (no self-loops) and not already chosen in this arrival (no duplicate
+// attachment edges). Every draw branch must pass through it — the
+// predicate deliberately assumes nothing about where t came from.
+func attachAccept(chosen []int32, t, v int32) bool {
+	if t == v {
+		return false
+	}
+	for _, c := range chosen {
+		if c == t {
+			return false
+		}
+	}
+	return true
 }
 
 // StreamedPowerLaw builds the preferential-attachment graph directly

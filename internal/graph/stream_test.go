@@ -75,6 +75,110 @@ func TestStreamedPowerLawShape(t *testing.T) {
 	}
 }
 
+// TestAttachAccept pins PowerLawStream's rejection predicate directly:
+// both draw branches route through it, so self-loops and duplicate
+// attachments are excluded by the predicate itself, not by the ranges
+// the draws happen to produce.
+func TestAttachAccept(t *testing.T) {
+	cases := []struct {
+		name   string
+		chosen []int32
+		t, v   int32
+		want   bool
+	}{
+		{"fresh target", []int32{1, 4}, 2, 9, true},
+		{"self-loop", nil, 9, 9, false},
+		{"duplicate", []int32{1, 4}, 4, 9, false},
+		{"duplicate first", []int32{4, 1}, 4, 9, false},
+		{"empty chosen", nil, 0, 9, true},
+		{"self with chosen", []int32{1}, 9, 9, false},
+		// The predicate must not trust the draw: a candidate above v
+		// (impossible from either branch today) is still only rejected
+		// for self/dup reasons, never accepted as a duplicate or self.
+		{"future vertex", []int32{1}, 11, 9, true},
+	}
+	for _, tc := range cases {
+		if got := attachAccept(tc.chosen, tc.t, tc.v); got != tc.want {
+			t.Errorf("%s: attachAccept(%v, %d, %d) = %v, want %v", tc.name, tc.chosen, tc.t, tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestPowerLawStreamAttachmentInvariantMillion is the satellite's
+// million-node invariant: replay the raw attachment stream (not the
+// deduplicating CSR build) and assert every arriving vertex contributes
+// exactly k attachment edges with no self-loop and no duplicate target
+// — per arrival, at stream level, where a rejection bug would actually
+// surface. Skipped in -short mode (docs/TESTING.md §Scale tests).
+func TestPowerLawStreamAttachmentInvariantMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const (
+		n = 1_000_000
+		k = 3
+	)
+	var (
+		cur     = -1            // arriving vertex currently being checked
+		seen    [k]int32        // targets of the current arrival
+		cnt     = 0             // attachments of the current arrival
+		badness = 0             // total violations (capped reporting)
+		edges   = int64(0)
+	)
+	flush := func() {
+		if cur > k && cnt != k {
+			badness++
+			if badness < 10 {
+				t.Errorf("vertex %d attached %d times, want %d", cur, cnt, k)
+			}
+		}
+	}
+	PowerLawStream(n, k, 77)(func(u, v int) {
+		edges++
+		if u == v {
+			badness++
+			if badness < 10 {
+				t.Errorf("self-loop at vertex %d", u)
+			}
+		}
+		if u <= k && v <= k {
+			return // seed clique
+		}
+		// Attachment edges are emitted (arriving vertex, target),
+		// grouped by arrival in ascending order.
+		if u != cur {
+			flush()
+			cur, cnt = u, 0
+		}
+		if v >= u {
+			badness++
+			if badness < 10 {
+				t.Errorf("vertex %d attached to non-prior vertex %d", u, v)
+			}
+		}
+		for i := 0; i < cnt && i < k; i++ {
+			if seen[i] == int32(v) {
+				badness++
+				if badness < 10 {
+					t.Errorf("vertex %d attached to %d twice", u, v)
+				}
+			}
+		}
+		if cnt < k {
+			seen[cnt] = int32(v)
+		}
+		cnt++
+	})
+	flush()
+	wantEdges := int64(k*(k+1)/2 + (n-k-1)*k)
+	if edges != wantEdges {
+		t.Fatalf("stream emitted %d edges, want %d", edges, wantEdges)
+	}
+	if badness > 0 {
+		t.Fatalf("%d attachment invariant violations", badness)
+	}
+}
+
 // TestStreamedGeneratorInvariantsLarge runs the structural invariants
 // the fuzz target checks on small n — degree sum, sortedness,
 // simplicity, symmetry — on million-node streamed builds, where the

@@ -1,0 +1,281 @@
+package repair
+
+// heal.go generalizes the undirected repair loop from fault recovery
+// to churn maintenance: the same classifier (defect-budget-absorbed vs
+// hard conflicts) and the same bounded deterministic recolor schedule,
+// but over an abstract read-only Topology — so it runs equally on the
+// adjacency-list graph.Graph, the immutable graph.CSR, and the
+// incremental service's mutable graph.Overlay — and with a *seeded*
+// entry point, HealLocal, that scans only a frontier instead of the
+// whole vertex set.
+//
+// Schedule equality (the locality contract the incremental service
+// depends on): a node's hardness is a function of its own color, its
+// list constraints, and its neighbors' colors, so one repair round
+// changes hardness only on recolored ∪ N(recolored); and churn on an
+// edge {u,v} changes conflict counts only at u and v. Therefore, as
+// long as the seed set covers every hard node, the frontier
+//
+//	candidates(r+1) = dirty(r) ∪ N(eligible(r))
+//
+// contains every node that can be hard in round r+1, and HealLocal
+// computes the exact dirty set — hence the exact eligible set, the
+// exact recolors, and byte-identical final colors — that the global
+// full-scan Heal computes. TestHealLocalMatchesHeal pins this.
+
+import (
+	"sort"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/sim"
+)
+
+// Topology is the read-only adjacency view the heal core works over:
+// vertex count, degrees, and sorted neighbor lists. graph.Graph,
+// graph.CSR and graph.Overlay all satisfy it.
+type Topology interface {
+	N() int
+	Degree(v int) int
+	Neighbors(v int) []int
+}
+
+// HealOptions bounds a heal run.
+type HealOptions struct {
+	// RoundBudget caps repair rounds; 0 means DefaultBudget(n).
+	RoundBudget int
+}
+
+// HealReport is the outcome and bill of one heal run.
+type HealReport struct {
+	// Rounds is the number of repair rounds driven (0 when the seeds
+	// were already clean).
+	Rounds int
+	// Hard is the number of hard nodes found at entry — the damage the
+	// run started from.
+	Hard int
+	// Recolored is the total number of recolor operations (the
+	// service's locality numerator: nodes touched per update batch).
+	Recolored int
+	// Fallbacks counts recolors for which no budget-respecting list
+	// color existed, so the least-overdrawn color was taken instead.
+	// Zero fallbacks is the precondition of the incremental-vs-global
+	// equivalence the service's differential test checks.
+	Fallbacks int
+	// Scanned is the total number of candidate evaluations across all
+	// rounds — the work the frontier saved shows up as Scanned ≪ n·Rounds.
+	Scanned int
+	// Messages/Bits bill the recolor broadcasts: deg(v) messages of
+	// BitsFor(Space) bits per recoloring node, exactly as
+	// Report.RepairMessages/RepairBits.
+	Messages, Bits int
+	// Converged reports that no hard node remained within the budget.
+	Converged bool
+}
+
+// Heal drives the global repair schedule: every vertex is a seed, so
+// round one is a full hardness scan and the run is byte-identical to
+// the pre-Topology repair loop (TestHealMatchesReferenceLoop pins
+// this). Colors are mutated in place.
+func Heal(topo Topology, inst *coloring.Instance, colors []int, opt HealOptions) HealReport {
+	seeds := make([]int, topo.N())
+	for v := range seeds {
+		seeds[v] = v
+	}
+	return healCore(topo, inst, colors, seeds, opt.RoundBudget)
+}
+
+// HealLocal drives the seeded repair schedule: only the seeds are
+// scanned in round one, and the frontier grows by the neighborhoods of
+// recolored nodes. When the seeds cover every hard node — which churn
+// guarantees for the dirty set of an update batch, since inserting or
+// deleting an edge changes conflict counts only at its endpoints —
+// HealLocal produces byte-identical colors to Heal at a fraction of
+// the scan cost. Out-of-range and duplicate seeds are ignored.
+func HealLocal(topo Topology, inst *coloring.Instance, colors []int, seeds []int, opt HealOptions) HealReport {
+	return healCore(topo, inst, colors, seeds, opt.RoundBudget)
+}
+
+// healCore is the shared schedule: per round, dirty = hard nodes among
+// the candidates; eligible = dirty nodes that are the id-maximum of
+// their dirty closed neighborhood (an independent set, never empty
+// while dirty is non-empty); each eligible node recolors to the list
+// color minimizing (excess over budget, conflicts, list order); the
+// next candidate set is dirty ∪ N(eligible).
+func healCore(topo Topology, inst *coloring.Instance, colors []int, seeds []int, budget int) HealReport {
+	n := topo.N()
+	var hr HealReport
+	if len(colors) != n || inst.N() != n {
+		return hr
+	}
+	if budget <= 0 {
+		budget = DefaultBudget(n)
+	}
+	colorBits := sim.BitsFor(inst.Space)
+	const maxInt = int(^uint(0) >> 1)
+
+	conflicts := func(v int) int {
+		c := 0
+		for _, u := range topo.Neighbors(v) {
+			if colors[u] == colors[v] {
+				c++
+			}
+		}
+		return c
+	}
+	isHard := func(v int) bool {
+		allowed, ok := inst.DefectOf(v, colors[v])
+		if !ok {
+			return true
+		}
+		return conflicts(v) > allowed
+	}
+	// recolor re-enters v with its residual list and reports whether it
+	// had to overdraw the budget (no compliant color existed).
+	recolor := func(v int) bool {
+		list := inst.Lists[v]
+		if len(list) == 0 {
+			return true
+		}
+		defects := inst.Defects[v]
+		bestX, bestExcess, bestConf := list[0], maxInt, maxInt
+		for i, x := range list {
+			colors[v] = x
+			conf := conflicts(v)
+			excess := conf - defects[i]
+			if excess < 0 {
+				excess = 0
+			}
+			if excess < bestExcess || (excess == bestExcess && conf < bestConf) {
+				bestX, bestExcess, bestConf = x, excess, conf
+			}
+		}
+		colors[v] = bestX
+		return bestExcess > 0
+	}
+
+	hard := make([]bool, n)
+	mark := make([]bool, n)
+	cand := make([]int, 0, len(seeds))
+	for _, v := range seeds {
+		if v >= 0 && v < n && !mark[v] {
+			mark[v] = true
+			cand = append(cand, v)
+		}
+	}
+	for _, v := range cand {
+		mark[v] = false
+	}
+	sort.Ints(cand)
+
+	scan := func() []int {
+		var dirty []int
+		for _, v := range cand {
+			h := isHard(v)
+			hard[v] = h
+			if h {
+				dirty = append(dirty, v)
+			}
+		}
+		hr.Scanned += len(cand)
+		return dirty
+	}
+
+	dirty := scan()
+	hr.Hard = len(dirty)
+	var next []int
+	for len(dirty) > 0 && hr.Rounds < budget {
+		hr.Rounds++
+		// eligible: id-maxima of dirty closed neighborhoods. Adjacent
+		// dirty nodes cannot both qualify, so the set is independent
+		// and within-round recolor order is immaterial.
+		var eligible []int
+		for _, v := range dirty {
+			ok := true
+			for _, u := range topo.Neighbors(v) {
+				if hard[u] && u > v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				eligible = append(eligible, v)
+			}
+		}
+		next = next[:0]
+		for _, v := range dirty {
+			if !mark[v] {
+				mark[v] = true
+				next = append(next, v)
+			}
+		}
+		for _, v := range eligible {
+			if recolor(v) {
+				hr.Fallbacks++
+			}
+			hr.Recolored++
+			d := topo.Degree(v)
+			hr.Messages += d
+			hr.Bits += d * colorBits
+			for _, u := range topo.Neighbors(v) {
+				if !mark[u] {
+					mark[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		cand = append(cand[:0], next...)
+		for _, v := range cand {
+			mark[v] = false
+		}
+		sort.Ints(cand)
+		dirty = scan()
+	}
+	hr.Converged = len(dirty) == 0
+	return hr
+}
+
+// GreedyColors builds the deterministic id-ascending greedy coloring:
+// each vertex in turn takes the list color minimizing (excess over
+// budget, conflicts, list order) against its already-colored lower-id
+// neighbors. For proper instances with deg+1 lists the result is
+// already valid; for defective instances later vertices can push
+// earlier ones over budget, so callers follow with Heal — the pair is
+// the incremental service's initializer. (The first-list-color
+// baseline is unusable at scale here: on a ring it makes every node
+// hard and the id-max rule recolors one node per round.)
+func GreedyColors(topo Topology, inst *coloring.Instance) []int {
+	n := topo.N()
+	colors := make([]int, n)
+	done := make([]bool, n)
+	const maxInt = int(^uint(0) >> 1)
+	for v := 0; v < n; v++ {
+		list := inst.Lists[v]
+		if len(list) == 0 {
+			done[v] = true
+			continue
+		}
+		defects := inst.Defects[v]
+		bestX, bestExcess, bestConf := list[0], maxInt, maxInt
+		for i, x := range list {
+			conf := 0
+			for _, u := range topo.Neighbors(v) {
+				if done[u] && colors[u] == x {
+					conf++
+				}
+			}
+			excess := conf - defects[i]
+			if excess < 0 {
+				excess = 0
+			}
+			if excess < bestExcess || (excess == bestExcess && conf < bestConf) {
+				bestX, bestExcess, bestConf = x, excess, conf
+				if excess == 0 && conf == 0 {
+					break
+				}
+			}
+		}
+		colors[v] = bestX
+		done[v] = true
+	}
+	return colors
+}

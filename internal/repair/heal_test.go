@@ -1,0 +1,307 @@
+package repair
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+	"listcolor/internal/sim"
+)
+
+// referenceHealLoop is a frozen copy of the pre-Topology undirected
+// repair loop (full rescan of all n vertices every round): the oracle
+// that pins the heal-core delegation as byte-for-byte
+// behavior-preserving.
+func referenceHealLoop(g *graph.Graph, inst *coloring.Instance, colors []int, budget int) (rounds, msgs, bits int) {
+	n := g.N()
+	colorBits := sim.BitsFor(inst.Space)
+	conflicts := func(v int) int {
+		c := 0
+		for _, u := range g.Neighbors(v) {
+			if colors[u] == colors[v] {
+				c++
+			}
+		}
+		return c
+	}
+	hardAt := func(v int) bool {
+		allowed, ok := inst.DefectOf(v, colors[v])
+		if !ok {
+			return true
+		}
+		return conflicts(v) > allowed
+	}
+	recolor := func(v int) {
+		list := inst.Lists[v]
+		if len(list) == 0 {
+			return
+		}
+		defects := inst.Defects[v]
+		const maxInt = int(^uint(0) >> 1)
+		bestX, bestExcess, bestConf := list[0], maxInt, maxInt
+		for i, x := range list {
+			colors[v] = x
+			conf := conflicts(v)
+			excess := conf - defects[i]
+			if excess < 0 {
+				excess = 0
+			}
+			if excess < bestExcess || (excess == bestExcess && conf < bestConf) {
+				bestX, bestExcess, bestConf = x, excess, conf
+			}
+		}
+		colors[v] = bestX
+	}
+	dirty := make([]bool, n)
+	var dirtyIDs []int
+	rescan := func() {
+		dirtyIDs = dirtyIDs[:0]
+		for v := 0; v < n; v++ {
+			dirty[v] = hardAt(v)
+			if dirty[v] {
+				dirtyIDs = append(dirtyIDs, v)
+			}
+		}
+	}
+	rescan()
+	for len(dirtyIDs) > 0 && rounds < budget {
+		rounds++
+		var eligible []int
+		for _, v := range dirtyIDs {
+			ok := true
+			for _, u := range g.Neighbors(v) {
+				if dirty[u] && u > v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				eligible = append(eligible, v)
+			}
+		}
+		for _, v := range eligible {
+			recolor(v)
+			msgs += g.Degree(v)
+			bits += g.Degree(v) * colorBits
+		}
+		rescan()
+	}
+	return rounds, msgs, bits
+}
+
+// damagedColoring returns a coloring where each node takes a random
+// list color, and a few nodes are poisoned with an out-of-list color.
+func damagedColoring(inst *coloring.Instance, rng *rand.Rand) []int {
+	colors := make([]int, inst.N())
+	for v := range colors {
+		if len(inst.Lists[v]) == 0 {
+			continue
+		}
+		colors[v] = inst.Lists[v][rng.Intn(len(inst.Lists[v]))]
+		if rng.Intn(10) == 0 {
+			colors[v] = inst.Space + 1 + rng.Intn(3)
+		}
+	}
+	return colors
+}
+
+// TestHealMatchesReferenceLoop pins Heal (all vertices seeded) against
+// the frozen pre-refactor loop across random graphs, instances, and
+// damaged colorings: identical colors, rounds, and billing.
+func TestHealMatchesReferenceLoop(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		g := graph.GNP(n, 0.05+rng.Float64()*0.2, rng)
+		inst := coloring.DegreePlusOne(g, g.RawMaxDegree()+2+rng.Intn(5), rng)
+		start := damagedColoring(inst, rng)
+
+		want := append([]int(nil), start...)
+		wantRounds, wantMsgs, wantBits := referenceHealLoop(g, inst, want, DefaultBudget(n))
+
+		got := append([]int(nil), start...)
+		hr := Heal(g, inst, got, HealOptions{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: Heal colors diverge from reference loop", seed)
+		}
+		if hr.Rounds != wantRounds || hr.Messages != wantMsgs || hr.Bits != wantBits {
+			t.Fatalf("seed %d: Heal (rounds=%d, msgs=%d, bits=%d), reference (%d, %d, %d)",
+				seed, hr.Rounds, hr.Messages, hr.Bits, wantRounds, wantMsgs, wantBits)
+		}
+		if !hr.Converged {
+			t.Fatalf("seed %d: deg+1 instance did not converge", seed)
+		}
+		if err := coloring.ValidateListDefective(g, inst, got); err != nil {
+			t.Fatalf("seed %d: healed coloring invalid: %v", seed, err)
+		}
+	}
+}
+
+// TestHealTopologyGeneric runs the same heal on the adjacency-list
+// graph and its CSR twin: the Topology abstraction must not leak into
+// the schedule.
+func TestHealTopologyGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := graph.GNP(40, 0.12, rng)
+	inst := coloring.DegreePlusOne(g, g.RawMaxDegree()+3, rng)
+	start := damagedColoring(inst, rng)
+
+	a := append([]int(nil), start...)
+	b := append([]int(nil), start...)
+	ha := Heal(g, inst, a, HealOptions{})
+	hb := Heal(graph.CSRFromGraph(g), inst, b, HealOptions{})
+	if !reflect.DeepEqual(a, b) || ha != hb {
+		t.Fatalf("Graph vs CSR heal diverged: %+v vs %+v", ha, hb)
+	}
+}
+
+// TestHealLocalMatchesHeal is the locality contract: under random edge
+// churn on an overlay, HealLocal seeded with only the dirty endpoints
+// produces byte-identical colors — and an identical report modulo the
+// scan count — to the global full-scan Heal, while scanning less.
+func TestHealLocalMatchesHeal(t *testing.T) {
+	base := graph.StreamedGNP(60, 0.08, 5)
+	ov := graph.NewOverlay(base)
+	n := ov.N()
+	// Shared palette with generous headroom so churned degrees stay
+	// below the list size and repair never needs a fallback.
+	space := 2*base.RawMaxDegree() + 8
+	inst := &coloring.Instance{Space: space, Lists: make([][]int, n), Defects: make([][]int, n)}
+	full := make([]int, space)
+	for i := range full {
+		full[i] = i
+	}
+	zeros := make([]int, space)
+	for v := 0; v < n; v++ {
+		inst.Lists[v] = full
+		inst.Defects[v] = zeros
+	}
+
+	colors := GreedyColors(ov, inst)
+	if hr := Heal(ov, inst, colors, HealOptions{}); !hr.Converged {
+		t.Fatalf("initial coloring did not converge: %+v", hr)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	totalLocal, totalGlobal := 0, 0
+	for batch := 0; batch < 30; batch++ {
+		var dirty []int
+		for op := 0; op < 5; op++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if ov.HasEdge(u, v) {
+				ov.RemoveEdge(u, v)
+				dirty = append(dirty, u, v)
+			} else if ov.Degree(u) < space-2 && ov.Degree(v) < space-2 {
+				if err := ov.AddEdge(u, v); err != nil {
+					t.Fatalf("batch %d AddEdge: %v", batch, err)
+				}
+				dirty = append(dirty, u, v)
+			}
+		}
+		local := append([]int(nil), colors...)
+		global := append([]int(nil), colors...)
+		hl := HealLocal(ov, inst, local, dirty, HealOptions{})
+		hg := Heal(ov, inst, global, HealOptions{})
+		if !reflect.DeepEqual(local, global) {
+			t.Fatalf("batch %d: HealLocal colors diverge from global Heal", batch)
+		}
+		if hl.Rounds != hg.Rounds || hl.Recolored != hg.Recolored ||
+			hl.Fallbacks != hg.Fallbacks || hl.Messages != hg.Messages || hl.Bits != hg.Bits {
+			t.Fatalf("batch %d: reports diverge: local %+v, global %+v", batch, hl, hg)
+		}
+		if !hl.Converged || hl.Fallbacks != 0 {
+			t.Fatalf("batch %d: local heal converged=%v fallbacks=%d", batch, hl.Converged, hl.Fallbacks)
+		}
+		if hl.Scanned > hg.Scanned {
+			t.Fatalf("batch %d: frontier scanned %d > global %d", batch, hl.Scanned, hg.Scanned)
+		}
+		totalLocal += hl.Scanned
+		totalGlobal += hg.Scanned
+		colors = local
+		if err := coloring.ValidateListDefective(ov.Graph(), inst, colors); err != nil {
+			t.Fatalf("batch %d: maintained coloring invalid: %v", batch, err)
+		}
+	}
+	if totalLocal*2 > totalGlobal {
+		t.Errorf("frontier saved too little: local scans %d vs global %d", totalLocal, totalGlobal)
+	}
+}
+
+// TestGreedyColorsInitializer checks the service initializer: greedy
+// alone is valid on proper deg+1 instances, greedy+Heal is valid on
+// defective ones, and on a large ring greedy needs no repair at all
+// (the first-list baseline would recolor one node per round there).
+func TestGreedyColorsInitializer(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.GNP(80, 0.1, rng)
+	inst := coloring.DegreePlusOne(g, g.RawMaxDegree()+4, rng)
+	colors := GreedyColors(g, inst)
+	if err := coloring.ValidateListDefective(g, inst, colors); err != nil {
+		t.Fatalf("greedy on proper deg+1 lists invalid: %v", err)
+	}
+	if hr := Heal(g, inst, colors, HealOptions{}); hr.Rounds != 0 || !hr.Converged {
+		t.Fatalf("valid greedy coloring still triggered repair: %+v", hr)
+	}
+
+	// Defective instance: short lists, budget 1 per color. Greedy can
+	// leave early nodes over budget; Heal must finish the job.
+	n := 60
+	gd := graph.GNP(n, 0.15, rng)
+	instD := &coloring.Instance{Space: 8, Lists: make([][]int, n), Defects: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		k := 3 + gd.Degree(v)/2
+		if k > 8 {
+			k = 8
+		}
+		list := make([]int, k)
+		defs := make([]int, k)
+		for i := range list {
+			list[i] = (v + i) % 8
+			defs[i] = 1
+		}
+		instD.Lists[v] = list
+		instD.Defects[v] = defs
+	}
+	colorsD := GreedyColors(gd, instD)
+	hr := Heal(gd, instD, colorsD, HealOptions{})
+	if hr.Converged {
+		if err := coloring.ValidateListDefective(gd, instD, colorsD); err != nil {
+			t.Fatalf("converged but invalid: %v", err)
+		}
+	}
+
+	ring := graph.StreamedRing(5000)
+	ri := &coloring.Instance{Space: 3, Lists: make([][]int, 5000), Defects: make([][]int, 5000)}
+	for v := 0; v < 5000; v++ {
+		ri.Lists[v] = []int{0, 1, 2}
+		ri.Defects[v] = []int{0, 0, 0}
+	}
+	rc := GreedyColors(ring, ri)
+	if hr := Heal(ring, ri, rc, HealOptions{}); hr.Rounds != 0 {
+		t.Fatalf("greedy ring coloring needed %d repair rounds", hr.Rounds)
+	}
+}
+
+// TestHealSeedHygiene: out-of-range and duplicate seeds are ignored,
+// an empty seed set is a no-op, and mismatched lengths return a zero
+// report instead of panicking.
+func TestHealSeedHygiene(t *testing.T) {
+	g := graph.Ring(8)
+	inst := coloring.DegreePlusOne(g, 4, rand.New(rand.NewSource(1)))
+	colors := GreedyColors(g, inst)
+	hr := HealLocal(g, inst, colors, []int{-3, 2, 2, 99, 2}, HealOptions{})
+	if hr.Scanned != 1 || hr.Rounds != 0 || !hr.Converged {
+		t.Fatalf("seed hygiene: %+v", hr)
+	}
+	if hr := HealLocal(g, inst, colors, nil, HealOptions{}); !hr.Converged || hr.Scanned != 0 {
+		t.Fatalf("empty seeds: %+v", hr)
+	}
+	if hr := Heal(g, inst, make([]int, 3), HealOptions{}); hr.Converged || hr.Rounds != 0 {
+		t.Fatalf("length mismatch not rejected: %+v", hr)
+	}
+}

@@ -268,8 +268,18 @@ func Classify(t Target, colors []int) Classification {
 
 // repairLoop drives repair rounds until clean or out of budget,
 // mutating colors in place; returns the rounds driven and bills the
-// recoloring broadcasts into rep.
+// recoloring broadcasts into rep. The undirected case delegates to the
+// shared Topology heal core (heal.go) — Heal with every vertex seeded
+// runs the identical full-scan schedule, so the delegation is
+// byte-for-byte behavior-preserving (TestHealMatchesReferenceLoop);
+// the oriented case keeps its sink-first schedule here.
 func (t Target) repairLoop(colors []int, budget int, rep *Report) int {
+	if t.D == nil {
+		hr := Heal(t.G, t.Inst, colors, HealOptions{RoundBudget: budget})
+		rep.RepairMessages += hr.Messages
+		rep.RepairBits += hr.Bits
+		return hr.Rounds
+	}
 	n := t.G.N()
 	dirty := make([]bool, n)
 	var dirtyIDs []int
@@ -299,38 +309,18 @@ func (t Target) repairLoop(colors []int, budget int, rep *Report) int {
 }
 
 // eligible picks the independent set of dirty nodes that recolors
-// this round. Oriented: dirty nodes with no dirty out-neighbor — the
-// sink-most layer of the dirty sub-DAG, so nodes settle in reverse
-// topological order (every edge is oriented, hence the set is
-// independent). Undirected: dirty nodes that are the id-maximum of
-// their dirty closed neighborhood (the global maximum always
-// qualifies, so the set is never empty). Cyclic orientations can
-// starve the oriented rule; the smallest dirty id then recolors alone
-// so the loop always makes progress within its budget.
+// this round on the oriented path (the undirected path lives in
+// heal.go): dirty nodes with no dirty out-neighbor — the sink-most
+// layer of the dirty sub-DAG, so nodes settle in reverse topological
+// order (every edge is oriented, hence the set is independent).
+// Cyclic orientations can starve the rule; the smallest dirty id then
+// recolors alone so the loop always makes progress within its budget.
 func (t Target) eligible(dirty []bool, dirtyIDs []int) []int {
 	var out []int
-	if t.D != nil {
-		for _, v := range dirtyIDs {
-			ok := true
-			for _, u := range t.D.Out(v) {
-				if dirty[u] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				out = append(out, v)
-			}
-		}
-		if len(out) == 0 {
-			out = append(out, dirtyIDs[0])
-		}
-		return out
-	}
 	for _, v := range dirtyIDs {
 		ok := true
-		for _, u := range t.G.Neighbors(v) {
-			if dirty[u] && u > v {
+		for _, u := range t.D.Out(v) {
+			if dirty[u] {
 				ok = false
 				break
 			}
@@ -338,6 +328,9 @@ func (t Target) eligible(dirty []bool, dirtyIDs []int) []int {
 		if ok {
 			out = append(out, v)
 		}
+	}
+	if len(out) == 0 {
+		out = append(out, dirtyIDs[0])
 	}
 	return out
 }

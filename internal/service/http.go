@@ -1,0 +1,127 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// UpdateRequest is the POST /v1/updates body.
+type UpdateRequest struct {
+	Ops []Op `json:"ops"`
+}
+
+// UpdateResponse wraps the batch report; Error carries the rejection
+// message when the batch stopped early (HTTP 400, with the report of
+// the prefix that did apply).
+type UpdateResponse struct {
+	BatchReport
+	Error string `json:"error,omitempty"`
+}
+
+// colorResponse is the GET /v1/color/{node} body.
+type colorResponse struct {
+	Node    int    `json:"node"`
+	Color   int    `json:"color"`
+	Version uint64 `json:"version"`
+}
+
+// colorsResponse is the GET /v1/colors body; Colors[i] answers
+// Nodes[i] from one consistent snapshot.
+type colorsResponse struct {
+	Nodes   []int  `json:"nodes"`
+	Colors  []int  `json:"colors"`
+	Version uint64 `json:"version"`
+}
+
+// NewHandler wires the service's HTTP surface:
+//
+//	POST /v1/updates        batched ops, single-writer apply
+//	GET  /v1/color/{node}   one color, lock-free snapshot read
+//	GET  /v1/colors?nodes=  many colors from one snapshot
+//	GET  /v1/stats          running maintenance account
+//
+// Reads never block on writes: they load the atomically-swapped
+// snapshot the last batch published.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/updates", func(w http.ResponseWriter, r *http.Request) {
+		var req UpdateRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		rep, err := s.ApplyBatch(req.Ops)
+		resp := UpdateResponse{BatchReport: rep}
+		status := http.StatusOK
+		if err != nil {
+			resp.Error = err.Error()
+			if errors.Is(err, ErrOp) {
+				status = http.StatusBadRequest
+			} else {
+				status = http.StatusInternalServerError
+			}
+		}
+		writeJSON(w, status, resp)
+	})
+
+	mux.HandleFunc("GET /v1/color/{node}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := strconv.Atoi(r.PathValue("node"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "node must be an integer")
+			return
+		}
+		color, version, ok := s.Color(v)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("node %d unknown", v))
+			return
+		}
+		writeJSON(w, http.StatusOK, colorResponse{Node: v, Color: color, Version: version})
+	})
+
+	mux.HandleFunc("GET /v1/colors", func(w http.ResponseWriter, r *http.Request) {
+		raw := r.URL.Query().Get("nodes")
+		if raw == "" {
+			httpError(w, http.StatusBadRequest, "nodes query parameter required")
+			return
+		}
+		parts := strings.Split(raw, ",")
+		nodes := make([]int, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("bad node %q", p))
+				return
+			}
+			nodes = append(nodes, v)
+		}
+		colors, version, ok := s.ColorsOf(nodes)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown node in request")
+			return
+		}
+		writeJSON(w, http.StatusOK, colorsResponse{Nodes: nodes, Colors: colors, Version: version})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

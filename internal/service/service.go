@@ -1,0 +1,501 @@
+// Package service is the incremental coloring service: a long-running
+// single-writer state machine that maintains a valid list defective
+// coloring under a stream of edge/node insert and delete operations.
+//
+// It is the churn generalization of internal/repair — the paper's
+// locality is the whole trick: a color choice is invalidated only by
+// changes in its immediate neighborhood, so an update batch yields a
+// small *dirty set* (endpoints of inserted or deleted edges, former
+// neighbors of removed nodes, nodes whose lists changed), which is
+// classified into defect-budget-absorbed vs hard conflicts and handed
+// to repair.HealLocal for bounded deterministic recoloring seeded at
+// exactly those nodes. The maintenance cost (recolor broadcasts,
+// rounds, locality) is billed separately per batch.
+//
+// Topology lives in a graph.Overlay: reads on untouched vertices stay
+// zero-copy views into the immutable CSR substrate, mutations are
+// per-node patches, and the service compacts the overlay back into a
+// fresh CSR whenever the patch count crosses a threshold.
+//
+// Concurrency contract: writers are serialized by a mutex (the
+// "single-writer apply loop"); readers never take it — every batch
+// publishes an immutable color snapshot through an atomic pointer, so
+// Color/ColorsOf/Stats are lock-free and safe under any number of
+// concurrent readers while batches apply.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+	"listcolor/internal/repair"
+)
+
+// Op actions. AddNode appends a fresh vertex (its id is reported in
+// BatchReport.NewNodes); RemoveNode detaches a vertex's edges and
+// leaves an id-stable tombstone; SetList replaces a node's color list
+// and defect budgets.
+const (
+	OpAddEdge    = "add_edge"
+	OpRemoveEdge = "remove_edge"
+	OpAddNode    = "add_node"
+	OpRemoveNode = "remove_node"
+	OpSetList    = "set_list"
+)
+
+// Op is one update operation. U/V address edges; Node addresses
+// remove_node and set_list; List/Defects carry set_list payloads and
+// optionally seed add_node (defaulting to the full palette with zero
+// budgets).
+type Op struct {
+	Action  string `json:"action"`
+	U       int    `json:"u,omitempty"`
+	V       int    `json:"v,omitempty"`
+	Node    int    `json:"node,omitempty"`
+	List    []int  `json:"list,omitempty"`
+	Defects []int  `json:"defects,omitempty"`
+}
+
+// ErrOp marks a rejected operation: the batch stops at the offending
+// op (prior ops stay applied), repair still runs, and the error
+// reports the index. Unwrap for the cause.
+var ErrOp = errors.New("service: bad operation")
+
+// Options tunes a Service.
+type Options struct {
+	// RoundBudget caps repair rounds per batch; 0 means
+	// repair.DefaultBudget(n).
+	RoundBudget int
+	// CompactThreshold is the patched-vertex count that triggers
+	// overlay compaction after a batch; 0 means max(1024, n/8).
+	CompactThreshold int
+}
+
+// Snapshot is the immutable read-side state one batch publishes:
+// a private color slice and the batch version that produced it.
+type Snapshot struct {
+	Version uint64
+	Colors  []int
+}
+
+// BatchReport is the maintenance bill of one applied batch.
+type BatchReport struct {
+	// Applied is the number of ops applied (< len(ops) iff an op was
+	// rejected).
+	Applied int `json:"applied"`
+	// NewNodes lists the ids assigned to add_node ops, in order.
+	NewNodes []int `json:"new_nodes,omitempty"`
+	// Dirty is the seed-set size handed to repair.
+	Dirty int `json:"dirty"`
+	// Hard is the number of dirty nodes in hard violation before
+	// repair; Absorbed is the conflict count the defect budgets soaked
+	// up at the dirty nodes without any recoloring.
+	Hard     int `json:"hard"`
+	Absorbed int `json:"absorbed"`
+	// Rounds/Recolored/Scanned/Fallbacks and the message bill come
+	// from repair.HealLocal; Recolored is the batch's recolor
+	// locality (nodes touched).
+	Rounds              int  `json:"rounds"`
+	Recolored           int  `json:"recolored"`
+	Scanned             int  `json:"scanned"`
+	Fallbacks           int  `json:"fallbacks"`
+	MaintenanceMessages int  `json:"maintenance_messages"`
+	MaintenanceBits     int  `json:"maintenance_bits"`
+	Compacted           bool `json:"compacted"`
+	// Converged reports that no hard node remained within the round
+	// budget (the service's steady-state invariant).
+	Converged bool   `json:"converged"`
+	Version   uint64 `json:"version"`
+}
+
+// Stats is the running account served at /v1/stats.
+type Stats struct {
+	Version             uint64  `json:"version"`
+	Nodes               int     `json:"nodes"`
+	Edges               int64   `json:"edges"`
+	Patched             int     `json:"patched"`
+	Batches             int64   `json:"batches"`
+	Updates             int64   `json:"updates"`
+	Rejected            int64   `json:"rejected"`
+	HardConflicts       int64   `json:"hard_conflicts"`
+	AbsorbedConflicts   int64   `json:"absorbed_conflicts"`
+	Recolored           int64   `json:"recolored"`
+	RepairRounds        int64   `json:"repair_rounds"`
+	Fallbacks           int64   `json:"fallbacks"`
+	MaintenanceMessages int64   `json:"maintenance_messages"`
+	MaintenanceBits     int64   `json:"maintenance_bits"`
+	Compactions         int64   `json:"compactions"`
+	UpdatesPerSec       float64 `json:"updates_per_sec"`
+	// RecolorLocality is recolored nodes per applied update — the
+	// maintenance-locality headline number.
+	RecolorLocality float64 `json:"recolor_locality"`
+	UptimeSec       float64 `json:"uptime_sec"`
+}
+
+// Service maintains the coloring. Construct with New; the zero value
+// is not usable.
+type Service struct {
+	mu     sync.Mutex // serializes ApplyBatch (the single writer)
+	ov     *graph.Overlay
+	inst   *coloring.Instance
+	colors []int
+	opts   Options
+
+	snap  atomic.Pointer[Snapshot]
+	start time.Time
+
+	// accumulated totals, guarded by mu; Stats() reads them under mu
+	// (cheap) while color reads stay lock-free via snap.
+	version uint64
+	totals  Stats
+}
+
+// New builds a service over the CSR substrate. The instance is cloned
+// (the service mutates lists on add_node/set_list). When colors is
+// nil the service initializes with repair.GreedyColors; either way it
+// runs a global Heal so the published state is valid from version 0 —
+// an invalid initial state that cannot be healed within the budget is
+// an error.
+func New(base *graph.CSR, inst *coloring.Instance, colors []int, opts Options) (*Service, error) {
+	if base == nil || inst == nil {
+		return nil, fmt.Errorf("service: need a graph and an instance")
+	}
+	if inst.N() != base.N() {
+		return nil, fmt.Errorf("service: instance covers %d nodes, graph has %d", inst.N(), base.N())
+	}
+	s := &Service{
+		ov:    graph.NewOverlay(base),
+		inst:  inst.Clone(),
+		opts:  opts,
+		start: time.Now(),
+	}
+	if colors == nil {
+		s.colors = repair.GreedyColors(s.ov, s.inst)
+	} else {
+		if len(colors) != base.N() {
+			return nil, fmt.Errorf("service: %d colors for %d nodes", len(colors), base.N())
+		}
+		s.colors = append([]int(nil), colors...)
+	}
+	hr := repair.Heal(s.ov, s.inst, s.colors, repair.HealOptions{RoundBudget: opts.RoundBudget})
+	if !hr.Converged {
+		return nil, fmt.Errorf("service: initial coloring does not heal (%d hard nodes left)", hr.Hard)
+	}
+	s.totals.HardConflicts += int64(hr.Hard)
+	s.totals.Recolored += int64(hr.Recolored)
+	s.totals.RepairRounds += int64(hr.Rounds)
+	s.totals.Fallbacks += int64(hr.Fallbacks)
+	s.totals.MaintenanceMessages += int64(hr.Messages)
+	s.totals.MaintenanceBits += int64(hr.Bits)
+	s.publish()
+	return s, nil
+}
+
+// publish installs the current colors as the read snapshot. Caller
+// holds mu (or is the constructor).
+func (s *Service) publish() {
+	snap := &Snapshot{Version: s.version, Colors: append([]int(nil), s.colors...)}
+	s.snap.Store(snap)
+}
+
+// Snapshot returns the current immutable read state.
+func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Color returns node v's color and the snapshot version, lock-free.
+// ok is false when v is not a known node.
+func (s *Service) Color(v int) (color int, version uint64, ok bool) {
+	snap := s.snap.Load()
+	if v < 0 || v >= len(snap.Colors) {
+		return 0, snap.Version, false
+	}
+	return snap.Colors[v], snap.Version, true
+}
+
+// ColorsOf returns the colors of the requested nodes from one
+// consistent snapshot. Unknown nodes yield ok=false.
+func (s *Service) ColorsOf(nodes []int) (colors []int, version uint64, ok bool) {
+	snap := s.snap.Load()
+	colors = make([]int, len(nodes))
+	ok = true
+	for i, v := range nodes {
+		if v < 0 || v >= len(snap.Colors) {
+			ok = false
+			continue
+		}
+		colors[i] = snap.Colors[v]
+	}
+	return colors, snap.Version, ok
+}
+
+// N returns the current node count (from the read snapshot).
+func (s *Service) N() int { return len(s.snap.Load().Colors) }
+
+// HasEdge reports whether {u, v} is currently present. It takes the
+// writer lock — a convenience for churn drivers and tests, not a hot
+// path.
+func (s *Service) HasEdge(u, v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ov.HasEdge(u, v)
+}
+
+// DegreeOf returns v's current degree (0 for unknown nodes), under
+// the writer lock like HasEdge.
+func (s *Service) DegreeOf(v int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v < 0 || v >= s.ov.N() {
+		return 0
+	}
+	return s.ov.Degree(v)
+}
+
+// Stats returns the running account.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.totals
+	st.Version = s.version
+	st.Nodes = s.ov.N()
+	st.Edges = s.ov.M()
+	st.Patched = s.ov.Patched()
+	st.UptimeSec = time.Since(s.start).Seconds()
+	if st.UptimeSec > 0 {
+		st.UpdatesPerSec = float64(st.Updates) / st.UptimeSec
+	}
+	if st.Updates > 0 {
+		st.RecolorLocality = float64(st.Recolored) / float64(st.Updates)
+	}
+	return st
+}
+
+// ApplyBatch applies ops in order under the writer lock, repairs the
+// dirty set, and publishes a new snapshot. A rejected op stops the
+// batch — prior ops stay applied, repair still runs so the published
+// coloring is valid, and the error (wrapping ErrOp with the op index)
+// is returned alongside the report of what did happen.
+func (s *Service) ApplyBatch(ops []Op) (BatchReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var rep BatchReport
+	dirtyMark := make(map[int]bool)
+	addDirty := func(vs ...int) {
+		for _, v := range vs {
+			dirtyMark[v] = true
+		}
+	}
+	var opErr error
+	for i, op := range ops {
+		if err := s.apply(op, &rep, addDirty); err != nil {
+			opErr = fmt.Errorf("%w: op %d (%s): %v", ErrOp, i, op.Action, err)
+			break
+		}
+		rep.Applied++
+	}
+
+	dirty := make([]int, 0, len(dirtyMark))
+	for v := range dirtyMark {
+		dirty = append(dirty, v)
+	}
+	sort.Ints(dirty)
+	rep.Dirty = len(dirty)
+
+	// Pre-repair classification of the dirty set: conflicts the defect
+	// budgets absorb outright vs hard violations repair must fix.
+	for _, v := range dirty {
+		conf := 0
+		for _, u := range s.ov.Neighbors(v) {
+			if s.colors[u] == s.colors[v] {
+				conf++
+			}
+		}
+		if allowed, ok := s.inst.DefectOf(v, s.colors[v]); ok && conf <= allowed {
+			rep.Absorbed += conf
+		}
+	}
+
+	hr := repair.HealLocal(s.ov, s.inst, s.colors, dirty, repair.HealOptions{RoundBudget: s.opts.RoundBudget})
+	rep.Hard = hr.Hard
+	rep.Rounds = hr.Rounds
+	rep.Recolored = hr.Recolored
+	rep.Scanned = hr.Scanned
+	rep.Fallbacks = hr.Fallbacks
+	rep.MaintenanceMessages = hr.Messages
+	rep.MaintenanceBits = hr.Bits
+	rep.Converged = hr.Converged
+
+	threshold := s.opts.CompactThreshold
+	if threshold <= 0 {
+		threshold = s.ov.N() / 8
+		if threshold < 1024 {
+			threshold = 1024
+		}
+	}
+	if s.ov.Patched() > threshold {
+		if _, err := s.ov.Compact(); err != nil {
+			return rep, fmt.Errorf("service: compaction failed: %w", err)
+		}
+		rep.Compacted = true
+		s.totals.Compactions++
+	}
+
+	s.version++
+	rep.Version = s.version
+	s.publish()
+
+	s.totals.Batches++
+	s.totals.Updates += int64(rep.Applied)
+	s.totals.Rejected += int64(len(ops) - rep.Applied)
+	s.totals.HardConflicts += int64(rep.Hard)
+	s.totals.AbsorbedConflicts += int64(rep.Absorbed)
+	s.totals.Recolored += int64(rep.Recolored)
+	s.totals.RepairRounds += int64(rep.Rounds)
+	s.totals.Fallbacks += int64(rep.Fallbacks)
+	s.totals.MaintenanceMessages += int64(rep.MaintenanceMessages)
+	s.totals.MaintenanceBits += int64(rep.MaintenanceBits)
+	return rep, opErr
+}
+
+// apply executes one op against the overlay/instance/colors state,
+// recording dirty seeds. Caller holds mu.
+func (s *Service) apply(op Op, rep *BatchReport, addDirty func(...int)) error {
+	switch op.Action {
+	case OpAddEdge:
+		if err := s.ov.AddEdge(op.U, op.V); err != nil {
+			return err
+		}
+		addDirty(op.U, op.V)
+	case OpRemoveEdge:
+		if !s.ov.RemoveEdge(op.U, op.V) {
+			return fmt.Errorf("edge {%d,%d} not present", op.U, op.V)
+		}
+		addDirty(op.U, op.V)
+	case OpAddNode:
+		list, defects, err := s.newNodeConstraints(op)
+		if err != nil {
+			return err
+		}
+		v := s.ov.AddNode()
+		s.inst.Lists = append(s.inst.Lists, list)
+		s.inst.Defects = append(s.inst.Defects, defects)
+		s.colors = append(s.colors, list[0])
+		rep.NewNodes = append(rep.NewNodes, v)
+		addDirty(v)
+	case OpRemoveNode:
+		if op.Node < 0 || op.Node >= s.ov.N() {
+			return fmt.Errorf("node %d out of range", op.Node)
+		}
+		former := s.ov.RemoveNode(op.Node)
+		addDirty(op.Node)
+		addDirty(former...)
+	case OpSetList:
+		if op.Node < 0 || op.Node >= s.ov.N() {
+			return fmt.Errorf("node %d out of range", op.Node)
+		}
+		list, defects, err := s.checkConstraints(op.List, op.Defects)
+		if err != nil {
+			return err
+		}
+		s.inst.Lists[op.Node] = list
+		s.inst.Defects[op.Node] = defects
+		addDirty(op.Node)
+	default:
+		return fmt.Errorf("unknown action %q", op.Action)
+	}
+	return nil
+}
+
+// newNodeConstraints resolves an add_node op's list/defects, applying
+// the full-palette default.
+func (s *Service) newNodeConstraints(op Op) ([]int, []int, error) {
+	if len(op.List) == 0 {
+		list := make([]int, s.inst.Space)
+		for i := range list {
+			list[i] = i
+		}
+		return list, make([]int, s.inst.Space), nil
+	}
+	return s.checkConstraints(op.List, op.Defects)
+}
+
+// checkConstraints validates a list/defect pair against the palette
+// and normalizes it to the Instance invariant: sorted ascending,
+// duplicate-free, defects kept aligned through the sort. (DefectOf
+// binary-searches the list, so an unsorted list would make a node
+// unhealable: repair would keep assigning list colors the hardness
+// check cannot find.)
+func (s *Service) checkConstraints(list, defects []int) ([]int, []int, error) {
+	if len(list) == 0 {
+		return nil, nil, fmt.Errorf("empty color list")
+	}
+	if defects == nil {
+		defects = make([]int, len(list))
+	}
+	if len(defects) != len(list) {
+		return nil, nil, fmt.Errorf("%d defects for %d list colors", len(defects), len(list))
+	}
+	idx := make([]int, len(list))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return list[idx[a]] < list[idx[b]] })
+	outList := make([]int, len(list))
+	outDefects := make([]int, len(list))
+	for i, j := range idx {
+		x, d := list[j], defects[j]
+		if x < 0 || x >= s.inst.Space {
+			return nil, nil, fmt.Errorf("color %d outside palette [0,%d)", x, s.inst.Space)
+		}
+		if d < 0 {
+			return nil, nil, fmt.Errorf("negative defect budget %d", d)
+		}
+		if i > 0 && x == outList[i-1] {
+			return nil, nil, fmt.Errorf("duplicate list color %d", x)
+		}
+		outList[i] = x
+		outDefects[i] = d
+	}
+	return outList, outDefects, nil
+}
+
+// ValidateState runs a full conflict scan of the current topology
+// against the current coloring — the between-batches validity check
+// the soak tests call. It takes the writer lock; not for hot paths.
+func (s *Service) ValidateState() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return validateColors(s.ov, s.inst, s.colors)
+}
+
+// validateColors is a ValidateListDefective equivalent over any
+// repair.Topology, avoiding the O(n) adjacency-list materialization
+// of Overlay.Graph on million-node substrates.
+func validateColors(topo repair.Topology, inst *coloring.Instance, colors []int) error {
+	n := topo.N()
+	if inst.N() != n || len(colors) != n {
+		return fmt.Errorf("service: %d nodes, %d constraints, %d colors", n, inst.N(), len(colors))
+	}
+	for v := 0; v < n; v++ {
+		allowed, ok := inst.DefectOf(v, colors[v])
+		if !ok {
+			return fmt.Errorf("service: node %d colored %d outside its list", v, colors[v])
+		}
+		conf := 0
+		for _, u := range topo.Neighbors(v) {
+			if colors[u] == colors[v] {
+				conf++
+			}
+		}
+		if conf > allowed {
+			return fmt.Errorf("service: node %d has %d conflicts, budget %d", v, conf, allowed)
+		}
+	}
+	return nil
+}

@@ -30,6 +30,25 @@ var _ Payload = Corrupted{}
 // bytes decode to an error, never a panic.
 var ErrDecode = errors.New("sim: payload decode failed")
 
+// LengthBoundError is the typed rejection of a hostile length prefix:
+// the input declared a list of Declared elements, but only Remaining
+// bytes follow the prefix — since every encoded element costs at least
+// one byte, the declaration is provably corrupt. Returning it BEFORE
+// sizing any buffer is what bounds the decoder's allocation at
+// O(len(data)) regardless of what the prefix claims (a flipped bit can
+// otherwise declare a multi-GiB list). It unwraps to ErrDecode, so
+// errors.Is(err, ErrDecode) keeps matching.
+type LengthBoundError struct {
+	Declared  uint64 // element count the varint prefix claims
+	Remaining int    // bytes actually left after the prefix
+}
+
+func (e *LengthBoundError) Error() string {
+	return fmt.Sprintf("sim: payload decode failed: declared length %d exceeds %d remaining bytes", e.Declared, e.Remaining)
+}
+
+func (e *LengthBoundError) Unwrap() error { return ErrDecode }
+
 // Wire-format tags of EncodePayload.
 const (
 	tagInt  = 1
@@ -116,7 +135,7 @@ func DecodePayload(data []byte) (Payload, error) {
 		// Every value costs ≥ 1 byte, so a length beyond the remaining
 		// input is corrupt — reject before allocating.
 		if n > uint64(len(rest)) {
-			return nil, fmt.Errorf("%w: list length %d exceeds input", ErrDecode, n)
+			return nil, &LengthBoundError{Declared: n, Remaining: len(rest)}
 		}
 		values := make([]int, n)
 		for i := range values {

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -76,6 +77,67 @@ func TestDecodePayloadErrors(t *testing.T) {
 				t.Fatalf("err = %v, not wrapping ErrDecode", err)
 			}
 		})
+	}
+}
+
+// TestDecodeLengthBoundTyped pins the typed rejection: a hostile
+// length prefix yields a *LengthBoundError carrying the declared count
+// and the actual remainder, still matching ErrDecode via errors.Is.
+func TestDecodeLengthBoundTyped(t *testing.T) {
+	data := []byte{tagInts, 0xfe, 0xff, 0xff, 0xff, 0x0f} // ~4·10⁹ elements declared, none present
+	_, err := DecodePayload(data)
+	var lbe *LengthBoundError
+	if !errors.As(err, &lbe) {
+		t.Fatalf("err = %v (%T), want *LengthBoundError", err, err)
+	}
+	if lbe.Declared < 1<<30 || lbe.Remaining != 0 {
+		t.Fatalf("LengthBoundError = %+v, want multi-GiB declared count and 0 remaining", lbe)
+	}
+	if !errors.Is(err, ErrDecode) {
+		t.Fatalf("LengthBoundError does not unwrap to ErrDecode: %v", err)
+	}
+	// An in-bounds declared count whose input truncates after the list
+	// (missing domain) is a plain decode error, not a length-bound
+	// rejection.
+	_, err = DecodePayload([]byte{tagInts, 0x02, 0x02, 0x04})
+	if err == nil || errors.As(err, &lbe) {
+		t.Fatalf("truncated-but-bounded input: err = %v, want non-length-bound decode error", err)
+	}
+}
+
+// TestDecodeLengthPrefixAllocation is the allocation bound the fuzz
+// corpus's adversarial prefixes rely on: decoding input whose prefix
+// declares a multi-GiB list must allocate memory proportional to
+// len(data) (the error value and little else), never to the declared
+// count. A regression that sizes the buffer before the bounds check
+// shows up here as gigabytes per op.
+func TestDecodeLengthPrefixAllocation(t *testing.T) {
+	hostile := [][]byte{
+		{tagInts, 0xfe, 0xff, 0xff, 0xff, 0x0f},
+		{tagInts, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+	}
+	for _, data := range hostile {
+		data := data
+		bytesPerOp := testing.AllocsPerRun(100, func() {
+			if _, err := DecodePayload(data); err == nil {
+				t.Fatal("hostile prefix decoded successfully")
+			}
+		})
+		// AllocsPerRun counts allocations; also bound total bytes via a
+		// direct measurement so a single giant make([]int, n) cannot hide
+		// behind a small allocation count.
+		if bytesPerOp > 8 {
+			t.Errorf("decode of %x: %.0f allocs/op, want a handful", data, bytesPerOp)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < 64; i++ {
+			_, _ = DecodePayload(data)
+		}
+		runtime.ReadMemStats(&after)
+		if grown := after.TotalAlloc - before.TotalAlloc; grown > 1<<20 {
+			t.Errorf("decode of %x allocated %d bytes over 64 ops, want ≪ declared GiB", data, grown)
+		}
 	}
 }
 

@@ -160,6 +160,97 @@ func TestShardedErrorFallback(t *testing.T) {
 	})
 }
 
+// panicAt wraps a protocol node: the node with the given id panics at
+// the given round (surfacing as ErrNodePanic through safeRound), and
+// behaves as the inner protocol everywhere else.
+type panicAt struct {
+	Node
+	id, round int
+}
+
+func (p panicAt) Round(ctx *Context, round int, inbox []Message) ([]Outgoing, bool) {
+	if ctx.ID == p.id && round == p.round {
+		panic("injected fault")
+	}
+	return p.Node.Round(ctx, round, inbox)
+}
+
+// TestShardedErrorFallbackStatsParity is the regression for the
+// validation-prepass fallback under combined faults: a node error in a
+// LATE shard (high receiver range) during a round whose NodeDown crash
+// window is active must reproduce the sequential driver's run exactly —
+// same final Result, same error text, and the same per-round RoundStats
+// stream (ActiveNodes under downs/crashes, message/bit deltas, MaxBits)
+// right up to the aborted round, which reports stats in neither driver.
+func TestShardedErrorFallbackStatsParity(t *testing.T) {
+	const (
+		n        = 96
+		rounds   = 9
+		errNode  = 90 // lives in the last of 6 receiver shards
+		errRound = 6
+	)
+	down := func(round, v int) NodeStatus {
+		switch {
+		case round == 4 && v%9 == 0:
+			return NodeDowned
+		case round == errRound && v == 17:
+			return NodeDowned // down window active in the aborted round
+		case round == errRound && v == 40:
+			return NodeCrashed // crash window active in the aborted round
+		case round == errRound && v == 95:
+			return NodeCrashed // crashes beyond the erroring node too
+		}
+		return NodeUp
+	}
+	type runOutcome struct {
+		res   Result
+		stats []RoundStats
+		err   error
+	}
+	do := func(cfg Config) runOutcome {
+		var out runOutcome
+		cfg.NodeDown = down
+		cfg.OnRound = func(rs RoundStats) { out.stats = append(out.stats, rs) }
+		nodes, _ := newDigestNodes(n, rounds)
+		for v := range nodes {
+			nodes[v] = panicAt{Node: nodes[v], id: errNode, round: errRound}
+		}
+		out.res, out.err = Run(NewNetwork(graph.Ring(n)), nodes, cfg)
+		return out
+	}
+
+	ref := do(Config{Driver: Lockstep})
+	if !errors.Is(ref.err, ErrNodePanic) {
+		t.Fatalf("lockstep err = %v, want ErrNodePanic", ref.err)
+	}
+	if len(ref.stats) != errRound-1 {
+		t.Fatalf("lockstep reported %d rounds of stats, want %d (aborted round unreported)", len(ref.stats), errRound-1)
+	}
+	for name, cfg := range map[string]Config{
+		"workers-sequential": {Driver: Workers},
+		"workers-sharded":    {Driver: Workers, Shards: 6},
+		"workers-overshard":  {Driver: Workers, Shards: n},
+	} {
+		t.Run(name, func(t *testing.T) {
+			got := do(cfg)
+			if got.err == nil || got.err.Error() != ref.err.Error() {
+				t.Errorf("err = %v, want %v", got.err, ref.err)
+			}
+			if got.res != ref.res {
+				t.Errorf("partial Result = %+v, want %+v", got.res, ref.res)
+			}
+			if len(got.stats) != len(ref.stats) {
+				t.Fatalf("got %d rounds of stats, want %d", len(got.stats), len(ref.stats))
+			}
+			for i := range ref.stats {
+				if got.stats[i] != ref.stats[i] {
+					t.Errorf("round %d stats = %+v, want %+v", i+1, got.stats[i], ref.stats[i])
+				}
+			}
+		})
+	}
+}
+
 // TestShardedNodeDown checks NodeDown compatibility: the hook runs on
 // the coordinator before routing, so sharded and sequential runs under
 // the same fault schedule stay byte-identical.
