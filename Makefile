@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-scale bench bench-sim bench-local bench-harness bench-service race-service fuzz tables cover conform conformance clean
+.PHONY: all build vet test race test-scale bench bench-sim bench-local bench-harness bench-service bench-service-shards race-service fuzz tables cover conform conformance clean
 
 all: build vet test
 
@@ -45,10 +45,17 @@ bench-harness:
 # of the same document (docs/TESTING.md §Service tests).
 bench-service: bench-harness
 
+# Sharded write-path sweep: same churn script at every shard count,
+# byte-identity vs sequential plus the work-distribution account. The
+# numbers land in the `shard_sweep` section of BENCH_harness.json.
+bench-service-shards: bench-harness
+
 # Concurrent read/write soak of the incremental service under the race
-# detector (the CI race job runs this alongside the full -race sweep).
+# detector, plus the shard-sweep equivalence check (the CI race job
+# runs both alongside the full -race sweep).
 race-service:
 	$(GO) test -race -count 2 -run 'Concurrent' ./internal/service
+	$(GO) test -race -run 'TestShardSweep' ./internal/service
 
 fuzz:
 	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 15s ./internal/graph

@@ -153,6 +153,10 @@ func runHarnessBench(out io.Writer, quick bool, seed int64) error {
 	if err != nil {
 		return err
 	}
+	sweep, err := bench.RunShardSweepBench(quick)
+	if err != nil {
+		return err
+	}
 	rep := bench.HarnessBenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Note: "Sweep-scheduler throughput: one full bench.All per worker budget (best of 3). " +
@@ -163,12 +167,19 @@ func runHarnessBench(out io.Writer, quick bool, seed int64) error {
 			"service = incremental coloring service under churn: updates/sec through the single-writer " +
 			"apply loop (repair included), recolor locality per batch, and read latency through " +
 			"net/http/httptest while a writer keeps applying batches. " +
-			"Refresh with `make bench-harness` (or `make bench-service`, same file).",
+			"shard_sweep = the sharded write path replaying one deterministic spatially-local churn " +
+			"script at every shard count: identical_to_seq verifies colors and per-batch reports are " +
+			"byte-identical to shards=1, and shard_balance/parallel_batches/deferred_ops give the " +
+			"deterministic work-distribution account. speedup_vs_seq is bounded by the host's core " +
+			"count — on a single-CPU container it hovers near 1 and the distribution columns carry " +
+			"the signal. " +
+			"Refresh with `make bench-harness` (or `make bench-service` / `make bench-service-shards`, same file).",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Baseline:   bench.HarnessBenchBaseline(),
 		Current:    cur,
 		Service:    svc,
+		ShardSweep: sweep,
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

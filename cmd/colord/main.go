@@ -11,6 +11,7 @@
 //	colord -graph ring -n 1000000 -addr :8080
 //	colord -graph gnp -n 100000 -prob 0.0001 -churn 100000 -batch 1000
 //	colord -graph powerlaw -n 1000000 -k 4 -churn 100000 -verify
+//	colord -graph ring -n 1000000 -shards 4 -pprof localhost:6060
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -38,12 +40,26 @@ func main() {
 		defect    = flag.Int("defect", 0, "defect budget per list color")
 		budget    = flag.Int("budget", 0, "repair round budget per batch (0 = 2n+16)")
 		compact   = flag.Int("compact", 0, "overlay compaction threshold in patched vertices (0 = max(1024, n/8))")
+		shards    = flag.Int("shards", 0, "write-path shards for parallel batch apply (0 or 1 = sequential)")
 		addr      = flag.String("addr", ":8080", "HTTP listen address (server mode)")
+		pprofAddr = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 		churn     = flag.Int("churn", 0, "scripted mode: apply this many updates and exit (0 = serve HTTP)")
 		batch     = flag.Int("batch", 1000, "scripted mode: updates per batch")
 		verify    = flag.Bool("verify", false, "scripted mode: full conflict scan after every batch")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The default mux already carries the pprof handlers via the
+		// blank import; serve it on its own listener so profiling
+		// traffic never mixes with the service API.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "colord: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	start := time.Now()
 	var base *graph.CSR
@@ -69,6 +85,7 @@ func main() {
 	svc, err := service.New(base, inst, nil, service.Options{
 		RoundBudget:      *budget,
 		CompactThreshold: *compact,
+		Shards:           *shards,
 	})
 	if err != nil {
 		fatalf("service init: %v", err)

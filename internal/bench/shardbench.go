@@ -1,0 +1,228 @@
+package bench
+
+// shardbench.go measures the sharded service write path: the same
+// deterministic spatially-local churn script replayed at increasing
+// shard counts, recording throughput, how much of each batch ran on
+// the parallel path (parallel batches, deferred ops, fallbacks), the
+// degree-mass balance of the work each shard absorbed, and — the
+// contract the sweep exists to verify — whether every shard count
+// produced final colors byte-identical to the sequential run.
+// Recorded as the `shard_sweep` section of BENCH_harness.json and
+// refreshed by `make bench-service-shards`.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"listcolor/internal/graph"
+	"listcolor/internal/service"
+)
+
+// ShardSweepEntry is one (workload, shard count) measurement.
+type ShardSweepEntry struct {
+	Workload string `json:"workload"`
+	Nodes    int    `json:"nodes"`
+	Shards   int    `json:"shards"`
+	Updates  int    `json:"updates"`
+	Batches  int    `json:"batches"`
+	// UpdatesPerSec is applied updates over the replay's wall time;
+	// SpeedupVsSeq divides the shards=1 entry's wall time by this
+	// entry's (1.0 for the sequential entry itself). On a single-CPU
+	// host the speedup is bounded by 1 — the work-distribution columns
+	// below are the deterministic signal there.
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	SpeedupVsSeq  float64 `json:"speedup_vs_seq"`
+	// ParallelBatches counts batches that committed through the
+	// sharded path; DeferredOps the ops routed to the sequential
+	// epilogue; the fallback counters the batches that discarded
+	// parallel work and replayed sequentially.
+	ParallelBatches int64 `json:"parallel_batches"`
+	DeferredOps     int64 `json:"deferred_ops"`
+	ApplyFallbacks  int64 `json:"apply_fallbacks"`
+	RepairFallbacks int64 `json:"repair_fallbacks"`
+	// ShardBalance is min/max over the per-shard applied-op counters
+	// (1.0 = perfectly even, 0 when a shard saw no regional work).
+	ShardBalance float64 `json:"shard_balance"`
+	// IdenticalToSeq reports whether the final color vector (and every
+	// per-batch report) matched the shards=1 replay byte for byte.
+	IdenticalToSeq bool `json:"identical_to_seq"`
+	// Valid is the post-run full conflict scan verdict.
+	Valid bool `json:"valid"`
+}
+
+// shardWorkload parameterizes one sweep: a base graph plus a
+// deterministic spatially-local churn script.
+type shardWorkload struct {
+	name    string
+	build   func() *graph.CSR
+	batches int
+	batch   int
+	seed    int64
+}
+
+// ShardSweepWorkloads returns the swept workloads. Locality matters
+// here: mostly-short edges keep ops inside one degree-mass region, so
+// the parallel path engages instead of deferring everything.
+func ShardSweepWorkloads(quick bool) []shardWorkload {
+	if quick {
+		return []shardWorkload{
+			{name: "ring-local", build: func() *graph.CSR { return graph.StreamedRing(20_000) }, batches: 30, batch: 200, seed: 41},
+			{name: "powerlaw-local", build: func() *graph.CSR { return graph.StreamedPowerLaw(10_000, 3, 7) }, batches: 20, batch: 200, seed: 43},
+		}
+	}
+	return []shardWorkload{
+		{name: "ring-local", build: func() *graph.CSR { return graph.StreamedRing(500_000) }, batches: 100, batch: 1000, seed: 41},
+		{name: "powerlaw-local", build: func() *graph.CSR { return graph.StreamedPowerLaw(200_000, 3, 7) }, batches: 60, batch: 1000, seed: 43},
+	}
+}
+
+// ShardSweepShards returns the swept shard counts: sequential first,
+// then powers of two up to GOMAXPROCS, deduplicated.
+func ShardSweepShards() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	var out []int
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// localChurnScript generates a deterministic batched op stream whose
+// edge inserts are short-range (offset ≤ 8), biased toward the
+// spatially-local churn the paper's repair-locality argument covers.
+// The generator tracks topology in a private mirror so the script
+// does not depend on service state — the same script replays against
+// every shard count.
+func localChurnScript(base *graph.CSR, batches, batchSize int, seed int64, space int) [][]service.Op {
+	n := base.N()
+	rng := rand.New(rand.NewSource(seed))
+	// Mirror: base topology plus the script's own toggles.
+	toggled := make(map[[2]int]bool) // key -> present (overrides base)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = base.Degree(v)
+	}
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	hasEdge := func(u, v int) bool {
+		if present, ok := toggled[key(u, v)]; ok {
+			return present
+		}
+		return base.HasEdge(u, v)
+	}
+	var script [][]service.Op
+	var recentAdds [][2]int
+	for b := 0; b < batches; b++ {
+		ops := make([]service.Op, 0, batchSize)
+		for len(ops) < batchSize {
+			u := rng.Intn(n)
+			switch {
+			case len(recentAdds) > 0 && rng.Intn(100) < 30:
+				// Remove a previously-added edge.
+				i := rng.Intn(len(recentAdds))
+				k := recentAdds[i]
+				recentAdds[i] = recentAdds[len(recentAdds)-1]
+				recentAdds = recentAdds[:len(recentAdds)-1]
+				if !hasEdge(k[0], k[1]) {
+					continue
+				}
+				ops = append(ops, service.Op{Action: service.OpRemoveEdge, U: k[0], V: k[1]})
+				toggled[k] = false
+				deg[k[0]]--
+				deg[k[1]]--
+			default:
+				// Short-range insert.
+				v := (u + 1 + rng.Intn(8)) % n
+				if u == v || hasEdge(u, v) || deg[u] >= space-2 || deg[v] >= space-2 {
+					continue
+				}
+				ops = append(ops, service.Op{Action: service.OpAddEdge, U: u, V: v})
+				toggled[key(u, v)] = true
+				deg[u]++
+				deg[v]++
+				recentAdds = append(recentAdds, key(u, v))
+			}
+		}
+		script = append(script, ops)
+	}
+	return script
+}
+
+// RunShardSweepBench replays each workload's script at every shard
+// count and verifies byte-identity against the sequential replay.
+func RunShardSweepBench(quick bool) ([]ShardSweepEntry, error) {
+	var out []ShardSweepEntry
+	shards := ShardSweepShards()
+	for _, w := range ShardSweepWorkloads(quick) {
+		base := w.build()
+		space := base.RawMaxDegree() + 4
+		if space < 6 {
+			space = 6
+		}
+		script := localChurnScript(base, w.batches, w.batch, w.seed, space)
+
+		var seqColors []int
+		var seqReports []service.BatchReport
+		var seqWall float64
+		for _, s := range shards {
+			svc, err := service.New(base, servicePalette(base.N(), space), nil, service.Options{Shards: s})
+			if err != nil {
+				return nil, fmt.Errorf("shard sweep %s/s=%d: %w", w.name, s, err)
+			}
+			e := ShardSweepEntry{Workload: w.name, Nodes: base.N(), Shards: s, Batches: len(script)}
+			var reports []service.BatchReport
+			start := time.Now()
+			for bi, ops := range script {
+				rep, err := svc.ApplyBatch(ops)
+				if err != nil {
+					return nil, fmt.Errorf("shard sweep %s/s=%d batch %d: %w", w.name, s, bi, err)
+				}
+				e.Updates += rep.Applied
+				reports = append(reports, rep)
+			}
+			wall := time.Since(start).Seconds()
+			if wall > 0 {
+				e.UpdatesPerSec = float64(e.Updates) / wall
+			}
+			colors := svc.Snapshot().Colors
+			if s == 1 {
+				seqColors, seqReports, seqWall = colors, reports, wall
+			}
+			e.SpeedupVsSeq = seqWall / wall
+			e.IdenticalToSeq = reflect.DeepEqual(colors, seqColors) &&
+				reflect.DeepEqual(reports, seqReports)
+
+			st := svc.Stats()
+			e.ParallelBatches = st.ParallelBatches
+			e.DeferredOps = st.DeferredOps
+			e.ApplyFallbacks = st.ApplyFallbacks
+			e.RepairFallbacks = st.RepairFallbacks
+			if len(st.ShardApplied) > 0 {
+				min, max := st.ShardApplied[0], st.ShardApplied[0]
+				for _, a := range st.ShardApplied[1:] {
+					if a < min {
+						min = a
+					}
+					if a > max {
+						max = a
+					}
+				}
+				if max > 0 {
+					e.ShardBalance = float64(min) / float64(max)
+				}
+			}
+			e.Valid = svc.ValidateState() == nil
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

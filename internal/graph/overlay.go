@@ -14,14 +14,24 @@ package graph
 // count; Compact folds everything back into a fresh CSR (via the same
 // two-pass StreamCSR build as the streaming generators) so a
 // long-running service can bound overlay memory by compacting
-// periodically.
+// periodically. The service moves that fold off the write path with
+// Freeze (a shallow immutable copy a background goroutine compacts)
+// and Rebase (swap the finished CSR in, keeping only the rows mutated
+// since the freeze).
+//
+// In snapshot mode (EnableSnapshots, used by the service) rows become
+// generational copy-on-write: CommitDelta seals every row mutated in
+// the batch just applied and hands them out as an immutable delta map
+// for a lock-free TopoView, and the first mutation of a sealed row in
+// a later batch clones it first. Replaced private row buffers are
+// recycled through a small pool so steady-state churn does not
+// allocate per insert.
 //
 // An Overlay is not safe for concurrent use; the service layer
 // serializes writers and hands readers immutable snapshots instead.
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Overlay layers per-vertex insert/delete patches over a base CSR.
@@ -33,11 +43,37 @@ type Overlay struct {
 	rows map[int][]int
 	n    int
 	arcs int64
+
+	// Snapshot-mode state: gen counts committed batches (0 = snapshots
+	// disabled), rowGen[v] is the batch generation that owns v's row
+	// buffer, touched lists the rows mutated in the current batch, and
+	// freezeTouched (non-nil while a background compaction is in
+	// flight) accumulates rows mutated since the freeze.
+	gen          int
+	rowGen       map[int]int
+	touched      []int
+	freezeTouched map[int]bool
+
+	// pool recycles retired private row buffers (rows replaced before
+	// ever being published) so steady-state churn stays allocation-free
+	// on the insert path.
+	pool [][]int
 }
 
 // NewOverlay returns an overlay with no patches over base.
 func NewOverlay(base *CSR) *Overlay {
 	return &Overlay{base: base, rows: make(map[int][]int), n: base.N(), arcs: base.Arcs()}
+}
+
+// EnableSnapshots switches the overlay into generational copy-on-write
+// mode: from now on CommitDelta seals each batch's mutated rows for
+// publication in immutable TopoViews. Must be called before any
+// mutation is published.
+func (o *Overlay) EnableSnapshots() {
+	if o.gen == 0 {
+		o.gen = 1
+		o.rowGen = make(map[int]int)
+	}
 }
 
 // N returns the current vertex count (base plus appended vertices).
@@ -82,21 +118,72 @@ func (o *Overlay) HasEdge(u, v int) bool {
 		return false
 	}
 	row := o.Neighbors(u)
-	i := sort.SearchInts(row, v)
+	i := searchInts(row, v)
 	return i < len(row) && row[i] == v
 }
 
+// markTouched records that v's row buffer is owned by the current
+// batch generation (snapshot mode only).
+func (o *Overlay) markTouched(v int) {
+	if o.gen == 0 {
+		return
+	}
+	if o.rowGen[v] != o.gen {
+		o.rowGen[v] = o.gen
+		o.touched = append(o.touched, v)
+	}
+	if o.freezeTouched != nil {
+		o.freezeTouched[v] = true
+	}
+}
+
+// getBuf returns a row buffer with capacity ≥ want, recycling the
+// pool when possible.
+func (o *Overlay) getBuf(want int) []int {
+	for i := len(o.pool) - 1; i >= 0; i-- {
+		if cap(o.pool[i]) >= want {
+			r := o.pool[i]
+			o.pool[i] = o.pool[len(o.pool)-1]
+			o.pool = o.pool[:len(o.pool)-1]
+			return r[:0]
+		}
+	}
+	return make([]int, 0, want+4)
+}
+
+// recycle returns a retired private buffer to the pool. Only buffers
+// that were never published into a snapshot may be recycled.
+func (o *Overlay) recycle(r []int) {
+	if cap(r) == 0 || len(o.pool) >= 64 {
+		return
+	}
+	o.pool = append(o.pool, r[:0])
+}
+
+// cloneRow copies src into a pooled private buffer.
+func (o *Overlay) cloneRow(src []int) []int {
+	r := o.getBuf(len(src) + 1)
+	return append(r, src...)
+}
+
 // row returns v's private patch row, creating it as a copy of the base
-// row on first mutation.
+// row on first mutation, and re-cloning a row sealed by a published
+// snapshot (copy-on-write across batch generations).
 func (o *Overlay) row(v int) []int {
 	if r, ok := o.rows[v]; ok {
+		if o.gen != 0 && o.rowGen[v] != o.gen {
+			r = o.cloneRow(r)
+			o.rows[v] = r
+			o.markTouched(v)
+		}
 		return r
 	}
 	var r []int
 	if v < o.base.N() {
-		r = append([]int(nil), o.base.Row(v)...)
+		r = o.cloneRow(o.base.Row(v))
 	}
 	o.rows[v] = r
+	o.markTouched(v)
 	return r
 }
 
@@ -105,6 +192,7 @@ func (o *Overlay) AddNode() int {
 	v := o.n
 	o.n++
 	o.rows[v] = nil
+	o.markTouched(v)
 	return v
 }
 
@@ -154,15 +242,26 @@ func (o *Overlay) RemoveNode(v int) []int {
 	for _, w := range former {
 		o.remove(w, v)
 	}
+	if r, ok := o.rows[v]; ok && (o.gen == 0 || o.rowGen[v] == o.gen) {
+		o.recycle(r)
+	}
 	o.rows[v] = []int{}
+	o.markTouched(v)
 	o.arcs -= 2 * int64(len(former))
 	return former
 }
 
-// insert places w into v's private row, keeping it sorted.
+// insert places w into v's private row, keeping it sorted. A growth
+// past capacity retires the old private buffer into the pool.
 func (o *Overlay) insert(v, w int) {
 	row := o.row(v)
-	i := sort.SearchInts(row, w)
+	i := searchInts(row, w)
+	if len(row) == cap(row) {
+		grown := o.getBuf(2*len(row) + 1)
+		grown = append(grown, row...)
+		o.recycle(row)
+		row = grown
+	}
 	row = append(row, 0)
 	copy(row[i+1:], row[i:])
 	row[i] = w
@@ -172,10 +271,74 @@ func (o *Overlay) insert(v, w int) {
 // remove deletes w from v's private row.
 func (o *Overlay) remove(v, w int) {
 	row := o.row(v)
-	i := sort.SearchInts(row, w)
+	i := searchInts(row, w)
 	if i < len(row) && row[i] == w {
 		o.rows[v] = append(row[:i], row[i+1:]...)
 	}
+}
+
+// CommitDelta seals the current batch's mutated rows and returns them
+// as an immutable delta map for TopoView.Extend (nil when the batch
+// mutated nothing). Snapshot mode only; after the call the returned
+// rows are copy-on-write — the next mutation of any of them clones
+// first.
+func (o *Overlay) CommitDelta() map[int][]int {
+	if o.gen == 0 {
+		return nil
+	}
+	var delta map[int][]int
+	if len(o.touched) > 0 {
+		delta = make(map[int][]int, len(o.touched))
+		for _, v := range o.touched {
+			delta[v] = o.rows[v]
+		}
+	}
+	o.touched = o.touched[:0]
+	o.gen++
+	return delta
+}
+
+// RowsSnapshot returns a shallow copy of the patch map (row slices
+// shared). Only valid at a batch boundary in snapshot mode, when every
+// row is sealed.
+func (o *Overlay) RowsSnapshot() map[int][]int {
+	rows := make(map[int][]int, len(o.rows))
+	for v, r := range o.rows {
+		rows[v] = r
+	}
+	return rows
+}
+
+// Freeze returns an immutable shallow copy of the overlay's current
+// state — base reference, patch map, counts — for a background
+// Compact, and begins recording the rows mutated afterwards so Rebase
+// can rebase them onto the finished CSR. Only valid at a batch
+// boundary in snapshot mode (every row sealed by CommitDelta); the
+// returned overlay must not be mutated except via Compact.
+func (o *Overlay) Freeze() *Overlay {
+	frozen := &Overlay{base: o.base, rows: o.RowsSnapshot(), n: o.n, arcs: o.arcs}
+	o.freezeTouched = make(map[int]bool)
+	return frozen
+}
+
+// Rebase swaps the overlay onto a CSR compacted from a Freeze copy:
+// rows untouched since the freeze are baked into c and dropped, rows
+// touched since stay as patches over the new base. Counts are already
+// maintained incrementally and carry over.
+func (o *Overlay) Rebase(c *CSR) {
+	rows := make(map[int][]int, len(o.freezeTouched))
+	for v := range o.freezeTouched {
+		rows[v] = o.rows[v]
+	}
+	o.base = c
+	o.rows = rows
+	o.freezeTouched = nil
+	if o.gen != 0 {
+		// Every surviving row is sealed (published); fresh rowGen forces
+		// copy-on-write on the next mutation.
+		o.rowGen = make(map[int]int, len(rows))
+	}
+	o.pool = nil
 }
 
 // EdgeStream returns a replayable stream of the overlay's current
@@ -205,6 +368,12 @@ func (o *Overlay) Compact() (*CSR, error) {
 	}
 	o.base = c
 	o.rows = make(map[int][]int)
+	if o.gen != 0 {
+		o.rowGen = make(map[int]int)
+		o.touched = o.touched[:0]
+	}
+	o.freezeTouched = nil
+	o.pool = nil
 	o.arcs = c.Arcs()
 	return c, nil
 }
@@ -262,4 +431,50 @@ func (o *Overlay) Validate() error {
 // String returns a short human-readable summary.
 func (o *Overlay) String() string {
 	return fmt.Sprintf("Overlay(n=%d, m=%d, patched=%d)", o.n, o.M(), len(o.rows))
+}
+
+// RegionBounds partitions vertices [0, n) into s contiguous ranges
+// balanced by base-CSR degree mass, mirroring the receiver-range
+// sharding of the workers driver (internal/sim/shard.go): boundary i
+// is the first vertex whose base row starts at or past arcs·i/s.
+// Vertices appended beyond the base carry no base mass and land in the
+// last range. Boundaries are a function of (base, n, s) only, so every
+// batch at a given shard count partitions identically.
+func RegionBounds(base *CSR, n, s int) []int {
+	if s > n && n > 0 {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	b := make([]int, s+1)
+	arcs := base.Arcs()
+	bn := base.N()
+	v := 0
+	for i := 1; i < s; i++ {
+		target := arcs * int64(i) / int64(s)
+		for v < bn && base.RowStart(v) < target {
+			v++
+		}
+		b[i] = v
+	}
+	b[s] = n
+	return b
+}
+
+// RegionOf returns the index of the bounds range containing v (the
+// last range for vertices at or past the final boundary, which is
+// where appended vertices land).
+func RegionOf(bounds []int, v int) int {
+	s := len(bounds) - 1
+	lo, hi := 0, s-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bounds[mid+1] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }

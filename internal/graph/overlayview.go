@@ -1,0 +1,201 @@
+package graph
+
+// OverlayView is a writable delta view over an Overlay: all mutations
+// land in a private row map and the underlying overlay is never
+// touched, so several views over disjoint vertex regions can be
+// mutated concurrently by the service's sharded write path and merged
+// (or discarded wholesale) afterwards. Reads resolve newest-first:
+// the view's own delta, then an optional extra lookup layer (the
+// sequential epilogue stacks the region deltas under itself this
+// way), then the overlay's patch rows, then the base CSR.
+//
+// A view deliberately mirrors Overlay's mutation semantics and error
+// text exactly — the sharded service path must be byte-identical to
+// the single-writer path, so any divergence here is a bug.
+
+import "fmt"
+
+// OverlayView is a private write layer over an Overlay.
+type OverlayView struct {
+	o *Overlay
+	// extra, when non-nil, resolves rows committed by deeper view
+	// layers (present entry wins over the overlay).
+	extra func(v int) ([]int, bool)
+	// delta holds this view's mutated rows; a present entry fully
+	// replaces deeper rows.
+	delta map[int][]int
+	n     int
+	// arcsDelta tracks the net directed-edge change relative to the
+	// overlay at view creation.
+	arcsDelta int64
+}
+
+// View returns a fresh writable delta view over the overlay. extra may
+// be nil; when set it is consulted between the view's delta and the
+// overlay's rows.
+func (o *Overlay) View(extra func(v int) ([]int, bool)) *OverlayView {
+	return &OverlayView{o: o, extra: extra, delta: make(map[int][]int), n: o.n}
+}
+
+// N returns the vertex count as seen by the view (overlay count plus
+// vertices added through this view).
+func (v *OverlayView) N() int { return v.n }
+
+// ArcsDelta returns the net directed-edge change accumulated in the
+// view.
+func (v *OverlayView) ArcsDelta() int64 { return v.arcsDelta }
+
+// Delta returns the view's mutated rows, vertex count, and arc delta
+// for Overlay.ApplyDeltas. Ownership of the map transfers to the
+// caller.
+func (v *OverlayView) Delta() (rows map[int][]int, n int, arcsDelta int64) {
+	return v.delta, v.n, v.arcsDelta
+}
+
+// current resolves u's row newest-first without copying.
+func (v *OverlayView) current(u int) []int {
+	if row, ok := v.delta[u]; ok {
+		return row
+	}
+	if v.extra != nil {
+		if row, ok := v.extra(u); ok {
+			return row
+		}
+	}
+	if row, ok := v.o.rows[u]; ok {
+		return row
+	}
+	if u < v.o.base.N() {
+		return v.o.base.Row(u)
+	}
+	return nil
+}
+
+// Neighbors returns u's sorted neighbor list as seen by the view. The
+// slice must not be modified and is valid until the next mutation of
+// u through the view.
+func (v *OverlayView) Neighbors(u int) []int { return v.current(u) }
+
+// Degree returns the degree of u as seen by the view.
+func (v *OverlayView) Degree(u int) int { return len(v.current(u)) }
+
+// HasEdge reports whether {u, w} is present as seen by the view.
+func (v *OverlayView) HasEdge(u, w int) bool {
+	if u < 0 || u >= v.n || w < 0 || w >= v.n || u == w {
+		return false
+	}
+	row := v.current(u)
+	i := searchInts(row, w)
+	return i < len(row) && row[i] == w
+}
+
+// mutable returns u's row in the view's delta, cloning the deeper row
+// on first mutation.
+func (v *OverlayView) mutable(u int) []int {
+	if row, ok := v.delta[u]; ok {
+		return row
+	}
+	src := v.current(u)
+	row := make([]int, len(src), len(src)+1)
+	copy(row, src)
+	v.delta[u] = row
+	return row
+}
+
+// AddNode appends an isolated vertex through the view and returns its
+// id.
+func (v *OverlayView) AddNode() int {
+	u := v.n
+	v.n++
+	v.delta[u] = nil
+	return u
+}
+
+// AddEdge inserts the undirected edge {u, w} into the view, with
+// Overlay.AddEdge's exact semantics and error text.
+func (v *OverlayView) AddEdge(u, w int) error {
+	if u < 0 || u >= v.n || w < 0 || w >= v.n {
+		return fmt.Errorf("%w: edge {%d,%d} in overlay on %d vertices", ErrVertexRange, u, w, v.n)
+	}
+	if u == w {
+		return fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, w)
+	}
+	if v.HasEdge(u, w) {
+		return fmt.Errorf("%w: {%d,%d}", ErrParallelEdge, u, w)
+	}
+	v.insert(u, w)
+	v.insert(w, u)
+	v.arcsDelta += 2
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge {u, w} from the view; it
+// reports whether the edge was present.
+func (v *OverlayView) RemoveEdge(u, w int) bool {
+	if !v.HasEdge(u, w) {
+		return false
+	}
+	v.remove(u, w)
+	v.remove(w, u)
+	v.arcsDelta -= 2
+	return true
+}
+
+// RemoveNode detaches every edge incident to u as seen by the view,
+// leaving an isolated tombstone; it returns u's former neighbors (nil
+// when out of range or already isolated), exactly like
+// Overlay.RemoveNode.
+func (v *OverlayView) RemoveNode(u int) []int {
+	if u < 0 || u >= v.n {
+		return nil
+	}
+	old := v.current(u)
+	if len(old) == 0 {
+		return nil
+	}
+	former := append([]int(nil), old...)
+	for _, w := range former {
+		v.remove(w, u)
+	}
+	v.delta[u] = []int{}
+	v.arcsDelta -= 2 * int64(len(former))
+	return former
+}
+
+// insert places w into u's view row, keeping it sorted.
+func (v *OverlayView) insert(u, w int) {
+	row := v.mutable(u)
+	i := searchInts(row, w)
+	row = append(row, 0)
+	copy(row[i+1:], row[i:])
+	row[i] = w
+	v.delta[u] = row
+}
+
+// remove deletes w from u's view row.
+func (v *OverlayView) remove(u, w int) {
+	row := v.mutable(u)
+	i := searchInts(row, w)
+	if i < len(row) && row[i] == w {
+		v.delta[u] = append(row[:i], row[i+1:]...)
+	}
+}
+
+// ApplyDeltas merges committed view deltas into the overlay (later
+// maps win on row collisions — callers pass region deltas first and
+// the epilogue delta last) and sets the post-batch vertex and arc
+// counts. Row slices transfer ownership to the overlay; in snapshot
+// mode each merged row is owned by the current batch generation.
+func (o *Overlay) ApplyDeltas(n int, arcs int64, deltas ...map[int][]int) {
+	for _, d := range deltas {
+		for u, row := range d {
+			if old, ok := o.rows[u]; ok && (o.gen == 0 || o.rowGen[u] == o.gen) {
+				o.recycle(old)
+			}
+			o.rows[u] = row
+			o.markTouched(u)
+		}
+	}
+	o.n = n
+	o.arcs = arcs
+}

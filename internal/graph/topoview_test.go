@@ -1,0 +1,424 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mirrorView checks a TopoView row-for-row against an overlay.
+func mirrorView(t *testing.T, view *TopoView, ov *Overlay, label string) {
+	t.Helper()
+	if view.N() != ov.N() || view.Arcs() != ov.Arcs() {
+		t.Fatalf("%s: view n=%d arcs=%d, overlay n=%d arcs=%d", label, view.N(), view.Arcs(), ov.N(), ov.Arcs())
+	}
+	for v := 0; v < ov.N(); v++ {
+		if !reflect.DeepEqual(append([]int{}, view.Row(v)...), append([]int{}, ov.Neighbors(v)...)) {
+			t.Fatalf("%s: row %d: view %v, overlay %v", label, v, view.Row(v), ov.Neighbors(v))
+		}
+	}
+}
+
+// TestTopoViewTracksOverlay drives an overlay through batched churn
+// with CommitDelta/Extend after every batch and checks each published
+// view matches the overlay state at its version — including stale
+// older views staying frozen (immutability across COW generations).
+func TestTopoViewTracksOverlay(t *testing.T) {
+	base := StreamedRing(24)
+	ov := NewOverlay(base)
+	ov.EnableSnapshots()
+	view := NewTopoView(base)
+
+	type versioned struct {
+		view *TopoView
+		rows [][]int
+	}
+	var history []versioned
+
+	record := func() {
+		rows := make([][]int, ov.N())
+		for v := 0; v < ov.N(); v++ {
+			rows[v] = append([]int(nil), ov.Neighbors(v)...)
+		}
+		history = append(history, versioned{view: view, rows: rows})
+	}
+
+	batches := [][]func() error{
+		{func() error { return ov.AddEdge(0, 5) }, func() error { return ov.AddEdge(3, 9) }},
+		{func() error { ov.RemoveEdge(0, 1); return nil }, func() error { ov.AddNode(); return ov.AddEdge(24, 2) }},
+		{func() error { ov.RemoveNode(5); return nil }},
+		{func() error { return ov.AddEdge(5, 7) }, func() error { return ov.AddEdge(10, 14) }},
+	}
+	for bi, batch := range batches {
+		for _, op := range batch {
+			if err := op(); err != nil {
+				t.Fatalf("batch %d: %v", bi, err)
+			}
+		}
+		delta := ov.CommitDelta()
+		view = view.Extend(delta, ov.N(), ov.Arcs())
+		mirrorView(t, view, ov, "live")
+		record()
+	}
+
+	// Older views must still reflect their version exactly.
+	for i, h := range history {
+		for v := 0; v < h.view.N(); v++ {
+			got := append([]int{}, h.view.Row(v)...)
+			if !reflect.DeepEqual(got, append([]int{}, h.rows[v]...)) {
+				t.Fatalf("version %d row %d changed: %v vs %v", i, v, got, h.rows[v])
+			}
+		}
+	}
+
+	// HasEdge/Degree consistency plus out-of-range behavior.
+	if view.HasEdge(5, 7) != ov.HasEdge(5, 7) || view.Degree(24) != ov.Degree(24) {
+		t.Fatal("HasEdge/Degree diverge from overlay")
+	}
+	if view.Row(-1) != nil || view.Row(view.N()) != nil || view.HasEdge(0, 999) {
+		t.Fatal("out-of-range reads not nil/false")
+	}
+}
+
+// TestTopoViewCollapse pins the depth bound: a long Extend chain
+// collapses past collapseDepth and the collapsed view is
+// row-identical to the chained one.
+func TestTopoViewCollapse(t *testing.T) {
+	base := StreamedRing(16)
+	ov := NewOverlay(base)
+	ov.EnableSnapshots()
+	view := NewTopoView(base)
+	for i := 0; i < collapseDepth+10; i++ {
+		u := i % 16
+		w := (u + 3 + i%5) % 16
+		if u != w && !ov.HasEdge(u, w) {
+			if err := ov.AddEdge(u, w); err != nil {
+				t.Fatal(err)
+			}
+		} else if ov.HasEdge(u, w) {
+			ov.RemoveEdge(u, w)
+		}
+		view = view.Extend(ov.CommitDelta(), ov.N(), ov.Arcs())
+	}
+	if view.Depth() > collapseDepth {
+		t.Fatalf("depth %d exceeds bound %d", view.Depth(), collapseDepth)
+	}
+	mirrorView(t, view, ov, "collapsed")
+	collapsed := view.Collapse()
+	mirrorView(t, collapsed, ov, "explicit collapse")
+	// Extend with an empty delta and unchanged counts is a no-op.
+	if view.Extend(nil, ov.N(), ov.Arcs()) != view {
+		t.Fatal("empty Extend did not return the receiver")
+	}
+}
+
+// TestOverlayViewMirrorsOverlay applies the same op sequence to an
+// overlay directly and through an OverlayView, then merges the delta
+// and checks the results are identical — including arc accounting,
+// former-neighbor returns, and error text.
+func TestOverlayViewMirrorsOverlay(t *testing.T) {
+	mk := func() (*Overlay, *Overlay) {
+		return NewOverlay(StreamedRing(20)), NewOverlay(StreamedRing(20))
+	}
+	direct, viaView := mk()
+	view := viaView.View(nil)
+
+	type step struct {
+		name string
+		dir  func() (any, error)
+		vw   func() (any, error)
+	}
+	steps := []step{
+		{"add 0-7", func() (any, error) { return nil, direct.AddEdge(0, 7) }, func() (any, error) { return nil, view.AddEdge(0, 7) }},
+		{"dup 0-7", func() (any, error) { return nil, direct.AddEdge(7, 0) }, func() (any, error) { return nil, view.AddEdge(7, 0) }},
+		{"self", func() (any, error) { return nil, direct.AddEdge(3, 3) }, func() (any, error) { return nil, view.AddEdge(3, 3) }},
+		{"range", func() (any, error) { return nil, direct.AddEdge(3, 99) }, func() (any, error) { return nil, view.AddEdge(3, 99) }},
+		{"rm 1-2", func() (any, error) { return direct.RemoveEdge(1, 2), nil }, func() (any, error) { return view.RemoveEdge(1, 2), nil }},
+		{"rm absent", func() (any, error) { return direct.RemoveEdge(1, 2), nil }, func() (any, error) { return view.RemoveEdge(1, 2), nil }},
+		{"addnode", func() (any, error) { return direct.AddNode(), nil }, func() (any, error) { return view.AddNode(), nil }},
+		{"edge to new", func() (any, error) { return nil, direct.AddEdge(20, 4) }, func() (any, error) { return nil, view.AddEdge(20, 4) }},
+		{"rmnode 7", func() (any, error) { return direct.RemoveNode(7), nil }, func() (any, error) { return view.RemoveNode(7), nil }},
+		{"rmnode again", func() (any, error) { return direct.RemoveNode(7), nil }, func() (any, error) { return view.RemoveNode(7), nil }},
+		{"rmnode range", func() (any, error) { return direct.RemoveNode(-1), nil }, func() (any, error) { return view.RemoveNode(-1), nil }},
+	}
+	for _, st := range steps {
+		dv, derr := st.dir()
+		vv, verr := st.vw()
+		if !reflect.DeepEqual(dv, vv) {
+			t.Fatalf("%s: direct %v, view %v", st.name, dv, vv)
+		}
+		dmsg, vmsg := "", ""
+		if derr != nil {
+			dmsg = derr.Error()
+		}
+		if verr != nil {
+			vmsg = verr.Error()
+		}
+		if dmsg != vmsg {
+			t.Fatalf("%s: error %q, view error %q", st.name, dmsg, vmsg)
+		}
+	}
+
+	rows, n, arcsDelta := view.Delta()
+	viaView.ApplyDeltas(n, viaView.Arcs()+arcsDelta, rows)
+	if direct.N() != viaView.N() || direct.Arcs() != viaView.Arcs() {
+		t.Fatalf("counts: direct n=%d arcs=%d, view n=%d arcs=%d", direct.N(), direct.Arcs(), viaView.N(), viaView.Arcs())
+	}
+	for v := 0; v < direct.N(); v++ {
+		if !reflect.DeepEqual(append([]int{}, direct.Neighbors(v)...), append([]int{}, viaView.Neighbors(v)...)) {
+			t.Fatalf("row %d: direct %v, merged %v", v, direct.Neighbors(v), viaView.Neighbors(v))
+		}
+	}
+	if err := viaView.Validate(); err != nil {
+		t.Fatalf("merged overlay invalid: %v", err)
+	}
+}
+
+// TestOverlayViewLayering pins the epilogue lookup order: a view with
+// an extra layer sees the extra rows over the overlay, and its own
+// mutations over both, while the overlay never changes until
+// ApplyDeltas.
+func TestOverlayViewLayering(t *testing.T) {
+	ov := NewOverlay(StreamedRing(10))
+	regionRows := map[int][]int{2: {5, 7}} // pretend region delta: 2's row rewritten
+	view := ov.View(func(v int) ([]int, bool) {
+		r, ok := regionRows[v]
+		return r, ok
+	})
+	if got := view.Neighbors(2); !reflect.DeepEqual(got, []int{5, 7}) {
+		t.Fatalf("layered read = %v, want [5 7]", got)
+	}
+	if got := view.Neighbors(3); !reflect.DeepEqual(got, []int{2, 4}) {
+		t.Fatalf("fallthrough read = %v, want ring row", got)
+	}
+	if !view.RemoveEdge(2, 5) {
+		t.Fatal("RemoveEdge through layered row failed")
+	}
+	if got := view.Neighbors(2); !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("post-remove layered read = %v, want [7]", got)
+	}
+	// The extra layer and the overlay are untouched.
+	if !reflect.DeepEqual(regionRows[2], []int{5, 7}) {
+		t.Fatal("view mutated the extra layer's row")
+	}
+	if !reflect.DeepEqual(append([]int{}, ov.Neighbors(2)...), []int{1, 3}) {
+		t.Fatal("view mutated the overlay")
+	}
+}
+
+// TestOverlayFreezeRebase pins the background-compaction handoff: the
+// frozen copy compacts to the freeze-time state while the live
+// overlay keeps mutating; Rebase keeps exactly the rows touched since
+// the freeze and the rebased overlay reads identically to an overlay
+// that never compacted.
+func TestOverlayFreezeRebase(t *testing.T) {
+	ref := NewOverlay(StreamedRing(32)) // never compacts: the oracle
+	ov := NewOverlay(StreamedRing(32))
+	ov.EnableSnapshots()
+
+	both := func(f func(o *Overlay) error) {
+		if err := f(ref); err != nil {
+			t.Fatal(err)
+		}
+		if err := f(ov); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	both(func(o *Overlay) error { return o.AddEdge(0, 9) })
+	both(func(o *Overlay) error { return o.AddEdge(4, 13) })
+	both(func(o *Overlay) error { o.RemoveEdge(20, 21); return nil })
+	ov.CommitDelta()
+
+	frozen := ov.Freeze()
+	frozenArcs := frozen.Arcs()
+
+	// Post-freeze churn on the live overlay only.
+	both(func(o *Overlay) error { return o.AddEdge(9, 27) })
+	both(func(o *Overlay) error { o.RemoveNode(13); return nil })
+	both(func(o *Overlay) error { o.AddNode(); return o.AddEdge(32, 0) })
+	ov.CommitDelta()
+
+	csr, err := frozen.Compact()
+	if err != nil {
+		t.Fatalf("frozen compact: %v", err)
+	}
+	if csr.Arcs() != frozenArcs {
+		t.Fatalf("compacted CSR arcs %d, frozen had %d", csr.Arcs(), frozenArcs)
+	}
+	ov.Rebase(csr)
+
+	if ov.N() != ref.N() || ov.Arcs() != ref.Arcs() {
+		t.Fatalf("rebased counts n=%d arcs=%d, want n=%d arcs=%d", ov.N(), ov.Arcs(), ref.N(), ref.Arcs())
+	}
+	for v := 0; v < ref.N(); v++ {
+		if !reflect.DeepEqual(append([]int{}, ov.Neighbors(v)...), append([]int{}, ref.Neighbors(v)...)) {
+			t.Fatalf("row %d: rebased %v, reference %v", v, ov.Neighbors(v), ref.Neighbors(v))
+		}
+	}
+	if err := ov.Validate(); err != nil {
+		t.Fatalf("rebased overlay invalid: %v", err)
+	}
+	// Only post-freeze rows survive as patches.
+	if p := ov.Patched(); p == 0 || p > 8 {
+		t.Fatalf("rebased patch count %d, want the post-freeze touched rows only", p)
+	}
+	// And the rebased overlay keeps working under further churn.
+	both(func(o *Overlay) error { return o.AddEdge(1, 16) })
+	ov.CommitDelta()
+	for v := 0; v < ref.N(); v++ {
+		if !reflect.DeepEqual(append([]int{}, ov.Neighbors(v)...), append([]int{}, ref.Neighbors(v)...)) {
+			t.Fatalf("post-rebase churn row %d diverged", v)
+		}
+	}
+}
+
+// TestRegionBounds pins the degree-mass partition: bounds are
+// monotone, cover [0, n], depend only on the base for interior
+// boundaries, and RegionOf inverts them.
+func TestRegionBounds(t *testing.T) {
+	base := StreamedPowerLaw(500, 3, 9)
+	for _, s := range []int{1, 2, 4, 7, 16} {
+		b := RegionBounds(base, 520, s) // 20 appended vertices
+		if len(b) != s+1 {
+			t.Fatalf("s=%d: %d bounds", s, len(b))
+		}
+		if b[0] != 0 || b[s] != 520 {
+			t.Fatalf("s=%d: bounds %v not covering [0,520]", s, b)
+		}
+		for i := 1; i <= s; i++ {
+			if b[i] < b[i-1] {
+				t.Fatalf("s=%d: bounds %v not monotone", s, b)
+			}
+		}
+		for _, v := range []int{0, 1, 250, 499, 500, 519} {
+			r := RegionOf(b, v)
+			if v < b[r] || (r+1 < len(b) && v >= b[r+1] && r != s-1) {
+				t.Fatalf("s=%d: RegionOf(%d) = %d with bounds %v", s, v, r, b)
+			}
+		}
+		// Appended vertices land in the last region.
+		if r := RegionOf(b, 510); r != s-1 {
+			t.Fatalf("s=%d: appended vertex in region %d", s, r)
+		}
+	}
+	// Degenerate shapes.
+	if b := RegionBounds(base, 500, 0); len(b) != 2 {
+		t.Fatalf("s=0 bounds %v", b)
+	}
+	if b := RegionBounds(StreamedRing(3), 3, 8); len(b) != 4 {
+		t.Fatalf("s>n bounds %v", b)
+	}
+}
+
+// TestOverlayUnpatchedReadAllocs is the satellite pin: steady-state
+// reads on unpatched rows — the overwhelming majority on a compacted
+// substrate — allocate nothing.
+func TestOverlayUnpatchedReadAllocs(t *testing.T) {
+	ov := NewOverlay(StreamedRing(1024))
+	ov.EnableSnapshots()
+	if err := ov.AddEdge(0, 2); err != nil { // one patched row pair
+		t.Fatal(err)
+	}
+	ov.CommitDelta()
+	sink := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		for v := 100; v < 140; v++ {
+			sink += len(ov.Neighbors(v))
+			if ov.HasEdge(v, v+1) {
+				sink++
+			}
+			sink += ov.Degree(v)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unpatched reads allocate %.1f/op, want 0", allocs)
+	}
+	view := NewTopoView(ov.Base()).Extend(map[int][]int{0: ov.Neighbors(0)}, ov.N(), ov.Arcs())
+	allocs = testing.AllocsPerRun(200, func() {
+		for v := 100; v < 140; v++ {
+			sink += len(view.Row(v))
+			if view.HasEdge(v, v+1) {
+				sink++
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("TopoView reads allocate %.1f/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestOverlayInsertPoolSteadyState pins the pooled write path: after
+// warm-up, repeatedly toggling edges on already-patched rows
+// allocates nothing per op (row buffers cycle through the pool
+// instead of the heap).
+func TestOverlayInsertPoolSteadyState(t *testing.T) {
+	ov := NewOverlay(StreamedRing(256))
+	// No snapshot mode: buffers stay private, pool handles growth.
+	for v := 0; v < 64; v++ {
+		if err := ov.AddEdge(v, v+100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for v := 0; v < 64; v++ {
+			ov.RemoveEdge(v, v+100)
+			if err := ov.AddEdge(v, v+100); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("steady-state edge toggles allocate %.2f/op, want ~0", allocs)
+	}
+}
+
+func BenchmarkOverlayNeighborsUnpatched(b *testing.B) {
+	ov := NewOverlay(StreamedRing(1 << 16))
+	b.ReportAllocs()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += len(ov.Neighbors(i & 0xffff))
+	}
+	_ = sink
+}
+
+func BenchmarkOverlayNeighborsPatched(b *testing.B) {
+	ov := NewOverlay(StreamedRing(1 << 16))
+	for v := 0; v < 1<<16; v += 2 {
+		if err := ov.AddEdge(v, (v+7)&0xffff); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += len(ov.Neighbors(i & 0xffff))
+	}
+	_ = sink
+}
+
+func BenchmarkOverlayHasEdgeUnpatched(b *testing.B) {
+	ov := NewOverlay(StreamedRing(1 << 16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := i & 0xffff
+		ov.HasEdge(v, (v+1)&0xffff)
+	}
+}
+
+func BenchmarkOverlayHasEdgePatched(b *testing.B) {
+	ov := NewOverlay(StreamedRing(1 << 16))
+	for v := 0; v < 1<<16; v += 2 {
+		if err := ov.AddEdge(v, (v+7)&0xffff); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := i & 0xffff
+		ov.HasEdge(v, (v+1)&0xffff)
+	}
+}

@@ -1,0 +1,241 @@
+package repair
+
+// region.go is the sharded write path's repair kernel: healCore's
+// exact schedule restricted to a contiguous vertex region [lo, hi).
+// The service runs one HealRegion per shard region concurrently over
+// the same colors slice — safe because a region run only ever reads
+// and writes colors of region vertices.
+//
+// Exactness: a regional run scans a candidate only after verifying
+// its whole neighborhood lies inside the region. Under that
+// containment, every read (conflict counts, hardness flags,
+// eligibility) and every write (recolors) of the regional schedule
+// touches region vertices only, so the global seeded schedule
+// HealLocal(seeds_1 ∪ … ∪ seeds_s) decomposes exactly into the
+// per-region schedules: per-round dirty sets are the disjoint unions
+// of the regional ones, cross-region eligible nodes have disjoint
+// neighborhoods so recolor interleaving is immaterial, and the report
+// fields merge as Hard/Recolored/Fallbacks/Scanned/Messages/Bits = Σ,
+// Rounds = max, Converged = ∧ (every region runs under the same
+// round budget the global run would use). TestHealRegionMatchesLocal
+// pins this.
+//
+// The moment containment would be violated — a candidate's frontier
+// reaches outside [lo, hi) — the run rolls its own recolors back and
+// reports !ok; the service then rolls back every other region's undo
+// log and falls back to one global HealLocal, which is byte-identical
+// to the sequential path by the seeded-equals-global contract. Either
+// way the caller ends at exactly the sequential result.
+
+import (
+	"sort"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/sim"
+)
+
+// Recolor is one undo-log entry: vertex V held color Old before the
+// recolor. Applying a log in reverse order restores the pre-run
+// colors exactly (later entries for the same vertex are undone
+// first).
+type Recolor struct {
+	V, Old int
+}
+
+// Rollback restores colors from an undo log (reverse application).
+func Rollback(colors []int, undo []Recolor) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		colors[undo[i].V] = undo[i].Old
+	}
+}
+
+// HealRegion drives the seeded repair schedule confined to vertices
+// [lo, hi): byte-identical decisions to the global schedule as long
+// as every candidate's neighborhood stays inside the region. seeds
+// must lie in [lo, hi). budget ≤ 0 means DefaultBudget(topo.N()) —
+// the same resolution the global run uses, so regional and global
+// runs always share one round budget.
+//
+// On success (ok=true) colors hold the regional result and undo is
+// the recolor log (for the caller to roll back if a sibling region
+// aborts). On abort (ok=false) this region's recolors have already
+// been rolled back, colors are untouched relative to entry, and the
+// report is meaningless.
+func HealRegion(topo Topology, inst *coloring.Instance, colors []int, seeds []int, lo, hi, budget int) (hr HealReport, undo []Recolor, ok bool) {
+	n := topo.N()
+	if len(colors) != n || inst.N() != n {
+		return hr, nil, false
+	}
+	if lo < 0 || hi > n || lo > hi {
+		return hr, nil, false
+	}
+	if budget <= 0 {
+		budget = DefaultBudget(n)
+	}
+	colorBits := sim.BitsFor(inst.Space)
+	const maxInt = int(^uint(0) >> 1)
+
+	conflicts := func(v int) int {
+		c := 0
+		for _, u := range topo.Neighbors(v) {
+			if colors[u] == colors[v] {
+				c++
+			}
+		}
+		return c
+	}
+	isHard := func(v int) bool {
+		allowed, ok := inst.DefectOf(v, colors[v])
+		if !ok {
+			return true
+		}
+		return conflicts(v) > allowed
+	}
+	recolor := func(v int) bool {
+		list := inst.Lists[v]
+		if len(list) == 0 {
+			return true
+		}
+		undo = append(undo, Recolor{V: v, Old: colors[v]})
+		defects := inst.Defects[v]
+		bestX, bestExcess, bestConf := list[0], maxInt, maxInt
+		for i, x := range list {
+			colors[v] = x
+			conf := conflicts(v)
+			excess := conf - defects[i]
+			if excess < 0 {
+				excess = 0
+			}
+			if excess < bestExcess || (excess == bestExcess && conf < bestConf) {
+				bestX, bestExcess, bestConf = x, excess, conf
+			}
+		}
+		colors[v] = bestX
+		return bestExcess > 0
+	}
+
+	// hard/mark are region-local, indexed v-lo, so s concurrent regions
+	// allocate n flags total — the same footprint as one global run.
+	span := hi - lo
+	hard := make([]bool, span)
+	mark := make([]bool, span)
+	cand := make([]int, 0, len(seeds))
+	for _, v := range seeds {
+		if v < lo || v >= hi {
+			return hr, nil, false
+		}
+		if !mark[v-lo] {
+			mark[v-lo] = true
+			cand = append(cand, v)
+		}
+	}
+	for _, v := range cand {
+		mark[v-lo] = false
+	}
+	sort.Ints(cand)
+
+	abort := func() (HealReport, []Recolor, bool) {
+		Rollback(colors, undo)
+		return HealReport{}, nil, false
+	}
+
+	// scan mirrors healCore's scan, plus the containment gate: a
+	// candidate whose neighborhood leaves the region aborts the run
+	// before any of its neighbors' colors are read for a decision.
+	contained := true
+	scan := func() []int {
+		var dirty []int
+		for _, v := range cand {
+			for _, u := range topo.Neighbors(v) {
+				if u < lo || u >= hi {
+					contained = false
+					return nil
+				}
+			}
+			h := isHard(v)
+			hard[v-lo] = h
+			if h {
+				dirty = append(dirty, v)
+			}
+		}
+		hr.Scanned += len(cand)
+		return dirty
+	}
+
+	dirty := scan()
+	if !contained {
+		return abort()
+	}
+	hr.Hard = len(dirty)
+	var next []int
+	for len(dirty) > 0 && hr.Rounds < budget {
+		hr.Rounds++
+		var eligible []int
+		for _, v := range dirty {
+			okv := true
+			for _, u := range topo.Neighbors(v) {
+				if hard[u-lo] && u > v {
+					okv = false
+					break
+				}
+			}
+			if okv {
+				eligible = append(eligible, v)
+			}
+		}
+		next = next[:0]
+		for _, v := range dirty {
+			if !mark[v-lo] {
+				mark[v-lo] = true
+				next = append(next, v)
+			}
+		}
+		for _, v := range eligible {
+			if recolor(v) {
+				hr.Fallbacks++
+			}
+			hr.Recolored++
+			d := topo.Degree(v)
+			hr.Messages += d
+			hr.Bits += d * colorBits
+			for _, u := range topo.Neighbors(v) {
+				if !mark[u-lo] {
+					mark[u-lo] = true
+					next = append(next, u)
+				}
+			}
+		}
+		cand = append(cand[:0], next...)
+		for _, v := range cand {
+			mark[v-lo] = false
+		}
+		sort.Ints(cand)
+		dirty = scan()
+		if !contained {
+			return abort()
+		}
+	}
+	hr.Converged = len(dirty) == 0
+	return hr, undo, true
+}
+
+// MergeRegionReports folds per-region heal reports into the report
+// the single global seeded run would have produced: additive fields
+// sum, Rounds is the max, and the run converged iff every region did.
+func MergeRegionReports(reports []HealReport) HealReport {
+	var out HealReport
+	out.Converged = true
+	for _, r := range reports {
+		out.Hard += r.Hard
+		out.Recolored += r.Recolored
+		out.Fallbacks += r.Fallbacks
+		out.Scanned += r.Scanned
+		out.Messages += r.Messages
+		out.Bits += r.Bits
+		if r.Rounds > out.Rounds {
+			out.Rounds = r.Rounds
+		}
+		out.Converged = out.Converged && r.Converged
+	}
+	return out
+}

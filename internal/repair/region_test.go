@@ -1,0 +1,154 @@
+package repair
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+)
+
+// regionInstance gives every node the full palette with budget 1.
+func regionInstance(n, space int) *coloring.Instance {
+	full := make([]int, space)
+	for i := range full {
+		full[i] = i
+	}
+	ones := make([]int, space)
+	for i := range ones {
+		ones[i] = 1
+	}
+	inst := &coloring.Instance{Space: space, Lists: make([][]int, n), Defects: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		inst.Lists[v] = full
+		inst.Defects[v] = ones
+	}
+	return inst
+}
+
+// TestHealRegionMatchesLocal is the exact-decomposition contract the
+// sharded service write path rests on: when every region's repair
+// frontier stays contained, running HealRegion per region over
+// disjoint seed partitions produces byte-identical colors to one
+// global HealLocal over the union, and the reports merge as Σ /
+// max(Rounds) / ∧(Converged).
+func TestHealRegionMatchesLocal(t *testing.T) {
+	const n, space = 240, 6
+	base := graph.StreamedRing(n)
+	inst := regionInstance(n, space)
+	rng := rand.New(rand.NewSource(5))
+
+	for trial := 0; trial < 50; trial++ {
+		colors := make([]int, n)
+		for v := range colors {
+			colors[v] = rng.Intn(space)
+		}
+		// Damage two interior pockets, far from the region boundary at
+		// n/2 so the frontiers stay contained.
+		var seeds []int
+		for i := 0; i < 6; i++ {
+			seeds = append(seeds, 40+rng.Intn(30), n/2+40+rng.Intn(30))
+		}
+
+		globalColors := append([]int(nil), colors...)
+		want := HealLocal(graph.NewTopoView(base), inst, globalColors, seeds, HealOptions{})
+
+		var loSeeds, hiSeeds []int
+		for _, v := range seeds {
+			if v < n/2 {
+				loSeeds = append(loSeeds, v)
+			} else {
+				hiSeeds = append(hiSeeds, v)
+			}
+		}
+		topo := graph.NewTopoView(base)
+		r1, undo1, ok1 := HealRegion(topo, inst, colors, loSeeds, 0, n/2, 0)
+		if !ok1 {
+			t.Fatalf("trial %d: lo region aborted", trial)
+		}
+		r2, _, ok2 := HealRegion(topo, inst, colors, hiSeeds, n/2, n, 0)
+		if !ok2 {
+			t.Fatalf("trial %d: hi region aborted", trial)
+		}
+		if !reflect.DeepEqual(colors, globalColors) {
+			t.Fatalf("trial %d: regional colors diverge from global", trial)
+		}
+		got := MergeRegionReports([]HealReport{r1, r2})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merged report %+v, want %+v", trial, got, want)
+		}
+		// The undo log must rebuild the pre-repair state exactly: roll
+		// region 1 back and re-run it — same report, same colors.
+		rerun := append([]int(nil), colors...)
+		Rollback(rerun, undo1)
+		r1b, _, okb := HealRegion(topo, inst, rerun, loSeeds, 0, n/2, 0)
+		if !okb || !reflect.DeepEqual(r1b, r1) || !reflect.DeepEqual(rerun, colors) {
+			t.Fatalf("trial %d: rollback+rerun diverged (ok=%v)", trial, okb)
+		}
+	}
+}
+
+// TestHealRegionAbortRestores pins the abort path: a seed whose
+// neighborhood crosses the region boundary aborts the run with colors
+// restored bit-exact, so the caller's global fallback starts from the
+// pristine pre-repair state.
+func TestHealRegionAbortRestores(t *testing.T) {
+	const n, space = 64, 4
+	base := graph.StreamedRing(n)
+	inst := regionInstance(n, space)
+	colors := make([]int, n)
+	for v := range colors {
+		colors[v] = v % 2 // heavy conflicts: every node hard
+	}
+	before := append([]int(nil), colors...)
+
+	// Region [0, 32): seeding near the boundary guarantees the scan
+	// meets a candidate with a neighbor at 32 (or n-1 wrapping), so
+	// the run must abort — after possibly recoloring interior nodes
+	// first.
+	_, undo, ok := HealRegion(base, inst, colors, []int{28, 29, 30, 31}, 0, 32, 0)
+	if ok {
+		t.Fatal("expected abort: frontier must escape [0,32) on a ring")
+	}
+	if undo != nil {
+		t.Fatalf("abort returned a %d-entry undo log, want nil", len(undo))
+	}
+	if !reflect.DeepEqual(colors, before) {
+		t.Fatal("abort did not restore colors")
+	}
+}
+
+// TestHealRegionSeedValidation pins the guard rails: out-of-range
+// seeds and malformed bounds abort without touching colors.
+func TestHealRegionSeedValidation(t *testing.T) {
+	const n, space = 20, 4
+	base := graph.StreamedRing(n)
+	inst := regionInstance(n, space)
+	colors := make([]int, n)
+	before := append([]int(nil), colors...)
+
+	if _, _, ok := HealRegion(base, inst, colors, []int{15}, 0, 10, 0); ok {
+		t.Fatal("seed outside [lo,hi) accepted")
+	}
+	if _, _, ok := HealRegion(base, inst, colors, []int{5}, 10, 5, 0); ok {
+		t.Fatal("inverted bounds accepted")
+	}
+	if _, _, ok := HealRegion(base, inst, colors, nil, 0, n+5, 0); ok {
+		t.Fatal("hi > n accepted")
+	}
+	if !reflect.DeepEqual(colors, before) {
+		t.Fatal("validation failures mutated colors")
+	}
+}
+
+// TestRollbackOrder pins reverse application: multiple recolors of
+// the same vertex unwind newest-first, restoring the oldest value.
+func TestRollbackOrder(t *testing.T) {
+	colors := []int{9, 9, 9}
+	undo := []Recolor{{V: 1, Old: 3}, {V: 1, Old: 5}, {V: 2, Old: 7}}
+	Rollback(colors, undo)
+	if colors[1] != 3 || colors[2] != 7 || colors[0] != 9 {
+		t.Fatalf("rollback produced %v", colors)
+	}
+}

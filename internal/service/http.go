@@ -42,6 +42,7 @@ type colorsResponse struct {
 //	POST /v1/updates        batched ops, single-writer apply
 //	GET  /v1/color/{node}   one color, lock-free snapshot read
 //	GET  /v1/colors?nodes=  many colors from one snapshot
+//	GET  /v1/colors         full dump, streamed in bounded chunks
 //	GET  /v1/stats          running maintenance account
 //
 // Reads never block on writes: they load the atomically-swapped
@@ -88,7 +89,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/colors", func(w http.ResponseWriter, r *http.Request) {
 		raw := r.URL.Query().Get("nodes")
 		if raw == "" {
-			httpError(w, http.StatusBadRequest, "nodes query parameter required")
+			streamAllColors(w, s.Snapshot())
 			return
 		}
 		parts := strings.Split(raw, ",")
@@ -114,6 +115,43 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	return mux
+}
+
+// streamAllColors writes the full color dump as one JSON document —
+// {"version":V,"n":N,"colors":[...]} — in fixed-size chunks through
+// the ResponseWriter's chunked encoding, so a 10⁶-node dump needs one
+// scratch buffer instead of an O(n) intermediate encoding. The
+// snapshot is immutable, so the stream is consistent even while
+// batches keep applying.
+func streamAllColors(w http.ResponseWriter, snap *Snapshot) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	buf := make([]byte, 0, 16<<10)
+	buf = append(buf, `{"version":`...)
+	buf = strconv.AppendUint(buf, snap.Version, 10)
+	buf = append(buf, `,"n":`...)
+	buf = strconv.AppendInt(buf, int64(len(snap.Colors)), 10)
+	buf = append(buf, `,"colors":[`...)
+	flush := func() bool {
+		if _, err := w.Write(buf); err != nil {
+			return false
+		}
+		buf = buf[:0]
+		return true
+	}
+	for i, c := range snap.Colors {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(c), 10)
+		if len(buf) >= cap(buf)-24 {
+			if !flush() {
+				return
+			}
+		}
+	}
+	buf = append(buf, "]}\n"...)
+	flush()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -92,8 +93,23 @@ func TestHTTPEndpoints(t *testing.T) {
 	if code := getJSON(t, srv.URL+"/v1/color/zap", &e); code != http.StatusBadRequest {
 		t.Fatalf("junk node: %d", code)
 	}
-	if code := getJSON(t, srv.URL+"/v1/colors", &e); code != http.StatusBadRequest {
-		t.Fatalf("missing nodes param: %d", code)
+	// No nodes param: the full streamed dump.
+	var dump struct {
+		Version uint64 `json:"version"`
+		N       int    `json:"n"`
+		Colors  []int  `json:"colors"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/colors", &dump); code != http.StatusOK {
+		t.Fatalf("full dump: %d", code)
+	}
+	if dump.Version != 1 || dump.N != 17 || len(dump.Colors) != 17 {
+		t.Fatalf("full dump resp version=%d n=%d len=%d", dump.Version, dump.N, len(dump.Colors))
+	}
+	snapColors := s.Snapshot().Colors
+	for i, c := range dump.Colors {
+		if c != snapColors[i] {
+			t.Fatalf("dump color[%d] = %d, snapshot has %d", i, c, snapColors[i])
+		}
 	}
 	if code := getJSON(t, srv.URL+"/v1/colors?nodes=1,zap", &e); code != http.StatusBadRequest {
 		t.Fatalf("junk nodes param: %d", code)
@@ -120,6 +136,56 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 	if err := s.ValidateState(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// discardWriter is an http.ResponseWriter that counts bytes.
+type discardWriter struct {
+	header http.Header
+	n      int64
+}
+
+func (d *discardWriter) Header() http.Header         { return d.header }
+func (d *discardWriter) Write(p []byte) (int, error) { d.n += int64(len(p)); return len(p), nil }
+func (d *discardWriter) WriteHeader(int)             {}
+
+// TestStreamAllColorsAllocationBounded pins the full-dump satellite:
+// streaming a million-color snapshot allocates O(1) — one scratch
+// chunk plus header bookkeeping — not an O(n) intermediate document.
+func TestStreamAllColorsAllocationBounded(t *testing.T) {
+	colors := make([]int, 1<<20)
+	for i := range colors {
+		colors[i] = i % 7
+	}
+	snap := &Snapshot{Version: 42, Colors: colors}
+	w := &discardWriter{}
+	allocs := testing.AllocsPerRun(5, func() {
+		w.header = http.Header{}
+		w.n = 0
+		streamAllColors(w, snap)
+	})
+	if allocs > 32 {
+		t.Fatalf("streaming dump allocates %.0f/op — O(n) buffering crept back in", allocs)
+	}
+	if w.n < 1<<20 { // at least one byte per color
+		t.Fatalf("dump wrote %d bytes for %d colors", w.n, len(colors))
+	}
+
+	// And the stream is valid JSON that round-trips the snapshot.
+	var buf bytes.Buffer
+	rec := httptest.NewRecorder()
+	rec.Body = &buf
+	streamAllColors(rec, &Snapshot{Version: 3, Colors: []int{4, 0, 2}})
+	var dump struct {
+		Version uint64 `json:"version"`
+		N       int    `json:"n"`
+		Colors  []int  `json:"colors"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if dump.Version != 3 || dump.N != 3 || !reflect.DeepEqual(dump.Colors, []int{4, 0, 2}) {
+		t.Fatalf("dump round-trip %+v", dump)
 	}
 }
 

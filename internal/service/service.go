@@ -1,6 +1,6 @@
 // Package service is the incremental coloring service: a long-running
-// single-writer state machine that maintains a valid list defective
-// coloring under a stream of edge/node insert and delete operations.
+// state machine that maintains a valid list defective coloring under a
+// stream of edge/node insert and delete operations.
 //
 // It is the churn generalization of internal/repair — the paper's
 // locality is the whole trick: a color choice is invalidated only by
@@ -15,12 +15,27 @@
 // Topology lives in a graph.Overlay: reads on untouched vertices stay
 // zero-copy views into the immutable CSR substrate, mutations are
 // per-node patches, and the service compacts the overlay back into a
-// fresh CSR whenever the patch count crosses a threshold.
+// fresh CSR whenever the patch count crosses a threshold — in a
+// background goroutine over a frozen shallow copy, with the finished
+// CSR swapped in deterministically at the next batch boundary, so the
+// fold is off the apply critical path.
 //
-// Concurrency contract: writers are serialized by a mutex (the
-// "single-writer apply loop"); readers never take it — every batch
-// publishes an immutable color snapshot through an atomic pointer, so
-// Color/ColorsOf/Stats are lock-free and safe under any number of
+// The same locality also makes the write path parallel: with
+// Options.Shards > 1, each batch is partitioned by the contiguous
+// degree-mass-balanced shard regions its ops' dirty frontiers touch
+// (the receiver-range sharding of internal/sim/shard.go); ops whose
+// frontier stays inside one region apply and repair concurrently,
+// cross-region ops run in a deterministic sequential epilogue, and any
+// divergence risk (op error, repair frontier escaping its region)
+// falls back to replaying the pristine single-writer path — so colors,
+// BatchReport accounting, and error text are byte-identical to
+// Shards=1 at every shard count. See sharded.go.
+//
+// Concurrency contract: writers are serialized by a mutex (ApplyBatch
+// remains externally single-writer); readers never take it — every
+// batch publishes an immutable snapshot (colors, topology view, and
+// counters) through an atomic pointer, so Color/ColorsOf/Stats/
+// HasEdge/DegreeOf are lock-free and safe under any number of
 // concurrent readers while batches apply.
 package service
 
@@ -75,13 +90,26 @@ type Options struct {
 	// CompactThreshold is the patched-vertex count that triggers
 	// overlay compaction after a batch; 0 means max(1024, n/8).
 	CompactThreshold int
+	// Shards enables the parallel sharded write path: batches apply
+	// and repair concurrently across that many contiguous
+	// degree-mass-balanced vertex regions, byte-identical to the
+	// single-writer path. 0 or 1 keeps the sequential path.
+	Shards int
 }
 
-// Snapshot is the immutable read-side state one batch publishes:
-// a private color slice and the batch version that produced it.
+// Snapshot is the immutable read-side state one batch publishes: a
+// private color slice, a lock-free topology view, the running
+// counters as of the batch, and the batch version that produced it.
 type Snapshot struct {
 	Version uint64
 	Colors  []int
+	// Topo is the topology at this version (base CSR plus the
+	// published per-batch delta chain) — HasEdge/DegreeOf serve from
+	// it without touching the writer lock.
+	Topo *graph.TopoView
+	// Stats is the running account as of this version (time-derived
+	// fields are filled in by Service.Stats at read time).
+	Stats Stats
 }
 
 // BatchReport is the maintenance bill of one applied batch.
@@ -136,6 +164,21 @@ type Stats struct {
 	// maintenance-locality headline number.
 	RecolorLocality float64 `json:"recolor_locality"`
 	UptimeSec       float64 `json:"uptime_sec"`
+
+	// Sharded write path counters (diagnostics; all zero at Shards≤1).
+	// ParallelBatches counts batches whose apply+repair both completed
+	// on the parallel path; DeferredOps counts ops routed through the
+	// sequential epilogue; ApplyFallbacks/RepairFallbacks count
+	// batches that fell back to the pristine sequential path at the
+	// apply or repair stage. ShardApplied/ShardRecolored break the
+	// parallel-path work down per region.
+	Shards          int     `json:"shards"`
+	ParallelBatches int64   `json:"parallel_batches"`
+	DeferredOps     int64   `json:"deferred_ops"`
+	ApplyFallbacks  int64   `json:"apply_fallbacks"`
+	RepairFallbacks int64   `json:"repair_fallbacks"`
+	ShardApplied    []int64 `json:"shard_applied,omitempty"`
+	ShardRecolored  []int64 `json:"shard_recolored,omitempty"`
 }
 
 // Service maintains the coloring. Construct with New; the zero value
@@ -150,10 +193,32 @@ type Service struct {
 	snap  atomic.Pointer[Snapshot]
 	start time.Time
 
-	// accumulated totals, guarded by mu; Stats() reads them under mu
-	// (cheap) while color reads stay lock-free via snap.
+	// topo is the writer's handle on the published topology view; it
+	// is extended by one delta per batch and rebuilt on rebase.
+	topo *graph.TopoView
+
+	// pendingCompact is non-nil while a background compaction builds a
+	// CSR from a frozen overlay copy; the writer blocks on it at the
+	// next batch boundary and rebases. rebased marks the publish that
+	// must collapse the topology view onto the new base.
+	pendingCompact chan compactResult
+	rebased        bool
+
+	// bounds caches the shard-region boundaries for the current base
+	// CSR (interior boundaries depend only on the base and the shard
+	// count; the final boundary tracks n).
+	bounds     []int
+	boundsBase *graph.CSR
+
+	// accumulated totals, guarded by mu; published into every
+	// snapshot so Stats() never takes the lock.
 	version uint64
 	totals  Stats
+}
+
+type compactResult struct {
+	csr *graph.CSR
+	err error
 }
 
 // New builds a service over the CSR substrate. The instance is cloned
@@ -169,12 +234,17 @@ func New(base *graph.CSR, inst *coloring.Instance, colors []int, opts Options) (
 	if inst.N() != base.N() {
 		return nil, fmt.Errorf("service: instance covers %d nodes, graph has %d", inst.N(), base.N())
 	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("service: negative shard count %d", opts.Shards)
+	}
 	s := &Service{
 		ov:    graph.NewOverlay(base),
 		inst:  inst.Clone(),
 		opts:  opts,
 		start: time.Now(),
+		topo:  graph.NewTopoView(base),
 	}
+	s.ov.EnableSnapshots()
 	if colors == nil {
 		s.colors = repair.GreedyColors(s.ov, s.inst)
 	} else {
@@ -193,14 +263,47 @@ func New(base *graph.CSR, inst *coloring.Instance, colors []int, opts Options) (
 	s.totals.Fallbacks += int64(hr.Fallbacks)
 	s.totals.MaintenanceMessages += int64(hr.Messages)
 	s.totals.MaintenanceBits += int64(hr.Bits)
+	if s.shards() > 1 {
+		s.totals.ShardApplied = make([]int64, s.shards())
+		s.totals.ShardRecolored = make([]int64, s.shards())
+	}
 	s.publish()
 	return s, nil
 }
 
-// publish installs the current colors as the read snapshot. Caller
-// holds mu (or is the constructor).
+// shards returns the effective shard count (≥1).
+func (s *Service) shards() int {
+	if s.opts.Shards > 1 {
+		return s.opts.Shards
+	}
+	return 1
+}
+
+// publish seals the batch's overlay mutations, extends the topology
+// view, and installs the immutable snapshot. Caller holds mu (or is
+// the constructor).
 func (s *Service) publish() {
-	snap := &Snapshot{Version: s.version, Colors: append([]int(nil), s.colors...)}
+	delta := s.ov.CommitDelta()
+	if s.rebased {
+		s.topo = graph.RebasedTopoView(s.ov.Base(), s.ov.RowsSnapshot(), s.ov.N(), s.ov.Arcs())
+		s.rebased = false
+	} else {
+		s.topo = s.topo.Extend(delta, s.ov.N(), s.ov.Arcs())
+	}
+	st := s.totals
+	st.Version = s.version
+	st.Nodes = s.ov.N()
+	st.Edges = s.ov.M()
+	st.Patched = s.ov.Patched()
+	st.Shards = s.shards()
+	st.ShardApplied = append([]int64(nil), s.totals.ShardApplied...)
+	st.ShardRecolored = append([]int64(nil), s.totals.ShardRecolored...)
+	snap := &Snapshot{
+		Version: s.version,
+		Colors:  append([]int(nil), s.colors...),
+		Topo:    s.topo,
+		Stats:   st,
+	}
 	s.snap.Store(snap)
 }
 
@@ -236,35 +339,28 @@ func (s *Service) ColorsOf(nodes []int) (colors []int, version uint64, ok bool) 
 // N returns the current node count (from the read snapshot).
 func (s *Service) N() int { return len(s.snap.Load().Colors) }
 
-// HasEdge reports whether {u, v} is currently present. It takes the
-// writer lock — a convenience for churn drivers and tests, not a hot
-// path.
+// HasEdge reports whether {u, v} is present in the current snapshot,
+// lock-free — reads never wait behind a batch in flight.
 func (s *Service) HasEdge(u, v int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ov.HasEdge(u, v)
+	return s.snap.Load().Topo.HasEdge(u, v)
 }
 
-// DegreeOf returns v's current degree (0 for unknown nodes), under
-// the writer lock like HasEdge.
+// DegreeOf returns v's degree in the current snapshot (0 for unknown
+// nodes), lock-free like HasEdge.
 func (s *Service) DegreeOf(v int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if v < 0 || v >= s.ov.N() {
+	t := s.snap.Load().Topo
+	if v < 0 || v >= t.N() {
 		return 0
 	}
-	return s.ov.Degree(v)
+	return t.Degree(v)
 }
 
-// Stats returns the running account.
+// Stats returns the running account from the current snapshot,
+// lock-free; only the uptime-derived rates are computed at read time.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.totals
-	st.Version = s.version
-	st.Nodes = s.ov.N()
-	st.Edges = s.ov.M()
-	st.Patched = s.ov.Patched()
+	st := s.snap.Load().Stats
+	st.ShardApplied = append([]int64(nil), st.ShardApplied...)
+	st.ShardRecolored = append([]int64(nil), st.ShardRecolored...)
 	st.UptimeSec = time.Since(s.start).Seconds()
 	if st.UptimeSec > 0 {
 		st.UpdatesPerSec = float64(st.Updates) / st.UptimeSec
@@ -279,32 +375,25 @@ func (s *Service) Stats() Stats {
 // dirty set, and publishes a new snapshot. A rejected op stops the
 // batch — prior ops stay applied, repair still runs so the published
 // coloring is valid, and the error (wrapping ErrOp with the op index)
-// is returned alongside the report of what did happen.
+// is returned alongside the report of what did happen. With
+// Options.Shards > 1 the apply and repair stages run region-parallel;
+// the result is byte-identical either way.
 func (s *Service) ApplyBatch(ops []Op) (BatchReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	var rep BatchReport
-	dirtyMark := make(map[int]bool)
-	addDirty := func(vs ...int) {
-		for _, v := range vs {
-			dirtyMark[v] = true
-		}
-	}
-	var opErr error
-	for i, op := range ops {
-		if err := s.apply(op, &rep, addDirty); err != nil {
-			opErr = fmt.Errorf("%w: op %d (%s): %v", ErrOp, i, op.Action, err)
-			break
-		}
-		rep.Applied++
+	if err := s.swapCompaction(); err != nil {
+		return rep, err
 	}
 
-	dirty := make([]int, 0, len(dirtyMark))
-	for v := range dirtyMark {
-		dirty = append(dirty, v)
+	var dirty []int
+	var opErr error
+	if s.shards() > 1 {
+		dirty, opErr = s.applySharded(ops, &rep)
+	} else {
+		dirty, opErr = s.applySeq(ops, &rep)
 	}
-	sort.Ints(dirty)
 	rep.Dirty = len(dirty)
 
 	// Pre-repair classification of the dirty set: conflicts the defect
@@ -321,7 +410,7 @@ func (s *Service) ApplyBatch(ops []Op) (BatchReport, error) {
 		}
 	}
 
-	hr := repair.HealLocal(s.ov, s.inst, s.colors, dirty, repair.HealOptions{RoundBudget: s.opts.RoundBudget})
+	hr := s.repairDirty(dirty)
 	rep.Hard = hr.Hard
 	rep.Rounds = hr.Rounds
 	rep.Recolored = hr.Recolored
@@ -331,24 +420,7 @@ func (s *Service) ApplyBatch(ops []Op) (BatchReport, error) {
 	rep.MaintenanceBits = hr.Bits
 	rep.Converged = hr.Converged
 
-	threshold := s.opts.CompactThreshold
-	if threshold <= 0 {
-		threshold = s.ov.N() / 8
-		if threshold < 1024 {
-			threshold = 1024
-		}
-	}
-	if s.ov.Patched() > threshold {
-		if _, err := s.ov.Compact(); err != nil {
-			return rep, fmt.Errorf("service: compaction failed: %w", err)
-		}
-		rep.Compacted = true
-		s.totals.Compactions++
-	}
-
-	s.version++
-	rep.Version = s.version
-	s.publish()
+	s.maybeCompact(&rep)
 
 	s.totals.Batches++
 	s.totals.Updates += int64(rep.Applied)
@@ -360,7 +432,107 @@ func (s *Service) ApplyBatch(ops []Op) (BatchReport, error) {
 	s.totals.Fallbacks += int64(rep.Fallbacks)
 	s.totals.MaintenanceMessages += int64(rep.MaintenanceMessages)
 	s.totals.MaintenanceBits += int64(rep.MaintenanceBits)
+
+	s.version++
+	rep.Version = s.version
+	s.publish()
 	return rep, opErr
+}
+
+// applySeq is the single-writer apply loop: ops mutate the overlay in
+// order, stopping at the first rejected op. It returns the sorted
+// dirty seed set. This path is the differential oracle the sharded
+// path must match byte for byte — and its replay target on fallback.
+func (s *Service) applySeq(ops []Op, rep *BatchReport) ([]int, error) {
+	dirtyMark := make(map[int]bool)
+	addDirty := func(vs ...int) {
+		for _, v := range vs {
+			dirtyMark[v] = true
+		}
+	}
+	var opErr error
+	for i, op := range ops {
+		if err := s.apply(op, rep, addDirty); err != nil {
+			opErr = fmt.Errorf("%w: op %d (%s): %v", ErrOp, i, op.Action, err)
+			break
+		}
+		rep.Applied++
+	}
+	dirty := make([]int, 0, len(dirtyMark))
+	for v := range dirtyMark {
+		dirty = append(dirty, v)
+	}
+	sort.Ints(dirty)
+	return dirty, opErr
+}
+
+// repairDirty heals the dirty seed set: region-parallel when sharding
+// is on and the batch produced seeds, global HealLocal otherwise (and
+// as the fallback whenever any region's repair frontier escapes its
+// region — either way the colors and the report are byte-identical to
+// the sequential schedule).
+func (s *Service) repairDirty(dirty []int) repair.HealReport {
+	if s.shards() > 1 && len(dirty) > 0 {
+		if hr, ok := s.repairSharded(dirty); ok {
+			return hr
+		}
+		s.totals.RepairFallbacks++
+	}
+	return repair.HealLocal(s.ov, s.inst, s.colors, dirty, repair.HealOptions{RoundBudget: s.opts.RoundBudget})
+}
+
+// swapCompaction installs a finished background compaction at the
+// batch boundary: it blocks until the builder goroutine delivers (the
+// build overlaps everything between the two batches), rebases the
+// overlay onto the new CSR, and marks the next publish to collapse
+// the topology view.
+func (s *Service) swapCompaction() error {
+	if s.pendingCompact == nil {
+		return nil
+	}
+	res := <-s.pendingCompact
+	s.pendingCompact = nil
+	if res.err != nil {
+		return fmt.Errorf("service: compaction failed: %w", res.err)
+	}
+	s.ov.Rebase(res.csr)
+	s.rebased = true
+	s.bounds = nil
+	s.boundsBase = nil
+	return nil
+}
+
+// maybeCompact launches a background compaction when the patch count
+// crosses the threshold and none is in flight: the overlay is frozen
+// (shallow copy — published rows are copy-on-write, so the builder
+// reads a consistent state while the writer keeps mutating) and a
+// goroutine folds it into a CSR for swapCompaction to install at the
+// next batch boundary. The launch is deterministic in the update
+// stream, so Compacted/Compactions accounting is identical at every
+// shard count.
+func (s *Service) maybeCompact(rep *BatchReport) {
+	if s.pendingCompact != nil {
+		return
+	}
+	threshold := s.opts.CompactThreshold
+	if threshold <= 0 {
+		threshold = s.ov.N() / 8
+		if threshold < 1024 {
+			threshold = 1024
+		}
+	}
+	if s.ov.Patched() <= threshold {
+		return
+	}
+	frozen := s.ov.Freeze()
+	ch := make(chan compactResult, 1)
+	go func() {
+		csr, err := frozen.Compact()
+		ch <- compactResult{csr: csr, err: err}
+	}()
+	s.pendingCompact = ch
+	rep.Compacted = true
+	s.totals.Compactions++
 }
 
 // apply executes one op against the overlay/instance/colors state,

@@ -1,0 +1,443 @@
+package service
+
+// sharded.go is the parallel write path (Options.Shards > 1). The
+// contract is absolute: colors, BatchReport accounting, and error
+// text are byte-identical to the single-writer path at every shard
+// count — parallelism is an implementation detail the caller can
+// never observe except as throughput.
+//
+// Why it works (the paper's locality, applied to churn): an op's
+// effect — topology mutation, dirty seeds, repair frontier — is
+// confined to the op's *touched set* (edge endpoints; a removed
+// node plus its neighbors; a relisted node). Ops whose touched sets
+// fall inside one contiguous shard region commute with every op of
+// every other region, so regions apply concurrently into private
+// OverlayView deltas. Ops that straddle regions — plus add_node (id
+// assignment is order-sensitive) and anything unclassifiable — are
+// deferred to a sequential epilogue in original batch order, with a
+// forward taint pass: a deferred op taints its touched nodes, and
+// any later op touching a tainted node is deferred too, so two ops
+// that share a touched node always execute in batch order.
+//
+// Nothing escapes the private deltas until the whole batch has
+// succeeded: instance/color mutations are staged, the overlay is
+// untouched. On any op error the attempt is discarded and the batch
+// replays on the pristine sequential path, which reproduces the exact
+// partial application, report, and error text of Shards=1. Repair is
+// likewise region-parallel (repair.HealRegion over disjoint seed
+// partitions) with undo logs; the moment any region's frontier
+// escapes its region, all regions roll back and one global HealLocal
+// runs — byte-identical either way by the seeded-equals-global
+// schedule contract.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"listcolor/internal/graph"
+	"listcolor/internal/repair"
+)
+
+// batchPlan is the classifier's output: op indices per region (batch
+// order within each region) and the deferred epilogue (batch order).
+type batchPlan struct {
+	regionOps [][]int
+	deferred  []int
+	regional  int // total regional op count
+}
+
+// regionBounds returns the shard-region boundaries for the current
+// base CSR. Interior boundaries depend only on (base, shard count) —
+// cached — while the final boundary tracks the live vertex count, so
+// vertices appended since the last compaction land in the last
+// region. Caller holds mu.
+func (s *Service) regionBounds() []int {
+	if s.bounds == nil || s.boundsBase != s.ov.Base() {
+		s.bounds = graph.RegionBounds(s.ov.Base(), s.ov.N(), s.shards())
+		s.boundsBase = s.ov.Base()
+	}
+	s.bounds[len(s.bounds)-1] = s.ov.N()
+	return s.bounds
+}
+
+// classify partitions a batch by the shard regions the ops' touched
+// sets fall in. The touched set uses the pre-batch topology for
+// remove_node — sound because a node's row can only gain in-region
+// neighbors from earlier same-region ops (cross-region and deferred
+// ops that touch the node taint it, deferring this op too).
+func (s *Service) classify(ops []Op, bounds []int) batchPlan {
+	nRegions := len(bounds) - 1
+	plan := batchPlan{regionOps: make([][]int, nRegions)}
+	nPre := s.ov.N()
+	tainted := make(map[int]bool)
+	var touched []int
+
+	defer1 := func(i int) {
+		plan.deferred = append(plan.deferred, i)
+		for _, v := range touched {
+			tainted[v] = true
+		}
+	}
+
+	for i, op := range ops {
+		touched = touched[:0]
+		classifiable := true
+		switch op.Action {
+		case OpAddEdge, OpRemoveEdge:
+			if op.U < 0 || op.U >= nPre || op.V < 0 || op.V >= nPre {
+				classifiable = false
+				// Taint the in-range endpoint(s): a later op on them
+				// must stay ordered behind this one.
+				if op.U >= 0 && op.U < nPre {
+					touched = append(touched, op.U)
+				}
+				if op.V >= 0 && op.V < nPre {
+					touched = append(touched, op.V)
+				}
+			} else {
+				touched = append(touched, op.U, op.V)
+			}
+		case OpRemoveNode:
+			if op.Node < 0 || op.Node >= nPre {
+				classifiable = false
+			} else {
+				touched = append(touched, op.Node)
+				touched = append(touched, s.ov.Neighbors(op.Node)...)
+			}
+		case OpSetList:
+			if op.Node < 0 || op.Node >= nPre {
+				classifiable = false
+			} else {
+				touched = append(touched, op.Node)
+			}
+		default:
+			// add_node (id assignment is batch-order-sensitive) and
+			// unknown actions always run in the epilogue.
+			classifiable = false
+		}
+		if !classifiable {
+			defer1(i)
+			continue
+		}
+		r := graph.RegionOf(bounds, touched[0])
+		sameRegion := true
+		for _, v := range touched {
+			if tainted[v] {
+				sameRegion = false
+				break
+			}
+			if v < bounds[r] || v >= bounds[r+1] {
+				sameRegion = false
+				break
+			}
+		}
+		if !sameRegion {
+			defer1(i)
+			continue
+		}
+		plan.regionOps[r] = append(plan.regionOps[r], i)
+		plan.regional++
+	}
+	return plan
+}
+
+// pendingList is a staged set_list commit (validated and normalized,
+// not yet visible in the instance).
+type pendingList struct {
+	node          int
+	list, defects []int
+}
+
+// pendingNode is a staged add_node commit.
+type pendingNode struct {
+	list, defects []int
+}
+
+// regionAttempt is one region's private apply state.
+type regionAttempt struct {
+	view    *graph.OverlayView
+	dirty   map[int]bool
+	lists   []pendingList
+	applied int
+	failed  bool
+
+	// captured after the parallel phase
+	rows      map[int][]int
+	arcsDelta int64
+}
+
+// applySharded is the parallel apply stage: classify, apply regional
+// ops concurrently into private views, run the deferred epilogue over
+// a view layered on the region deltas, and commit everything only on
+// full success. Any op error discards the attempt and replays the
+// pristine sequential path — the returned dirty set, report, and
+// error are byte-identical to applySeq in every case. Caller holds
+// mu.
+func (s *Service) applySharded(ops []Op, rep *BatchReport) ([]int, error) {
+	if len(ops) == 0 {
+		return s.applySeq(ops, rep)
+	}
+	bounds := s.regionBounds()
+	plan := s.classify(ops, bounds)
+	if plan.regional == 0 {
+		// Nothing runs in parallel; the sequential loop is the same
+		// result for less machinery.
+		return s.applySeq(ops, rep)
+	}
+
+	regions := make([]*regionAttempt, len(plan.regionOps))
+	var wg sync.WaitGroup
+	for r, idxs := range plan.regionOps {
+		if len(idxs) == 0 {
+			continue
+		}
+		ra := &regionAttempt{view: s.ov.View(nil), dirty: make(map[int]bool)}
+		regions[r] = ra
+		wg.Add(1)
+		go func(ra *regionAttempt, idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				if err := s.applyViewOp(ra.view, ops[i], ra.dirty, &ra.lists, nil, nil); err != nil {
+					ra.failed = true
+					return
+				}
+				ra.applied++
+			}
+		}(ra, idxs)
+	}
+	wg.Wait()
+
+	failed := false
+	for _, ra := range regions {
+		if ra == nil {
+			continue
+		}
+		if ra.failed {
+			failed = true
+		}
+		ra.rows, _, ra.arcsDelta = ra.view.Delta()
+	}
+
+	var (
+		epiView  *graph.OverlayView
+		epiDirty map[int]bool
+		epiLists []pendingList
+		epiNodes []pendingNode
+		newNodes []int
+	)
+	if !failed {
+		extra := func(v int) ([]int, bool) {
+			for _, ra := range regions {
+				if ra == nil {
+					continue
+				}
+				if row, ok := ra.rows[v]; ok {
+					return row, true
+				}
+			}
+			return nil, false
+		}
+		epiView = s.ov.View(extra)
+		epiDirty = make(map[int]bool)
+		for _, i := range plan.deferred {
+			if err := s.applyViewOp(epiView, ops[i], epiDirty, &epiLists, &epiNodes, &newNodes); err != nil {
+				failed = true
+				break
+			}
+		}
+	}
+	if failed {
+		// Discard everything — the overlay, instance, and colors were
+		// never touched — and replay the pristine single-writer path,
+		// which reproduces the exact partial state, report, and error
+		// text of Shards=1.
+		s.totals.ApplyFallbacks++
+		return s.applySeq(ops, rep)
+	}
+
+	// Commit. Region deltas have pairwise-disjoint row sets (each
+	// region only mutates rows of its own vertices); the epilogue
+	// delta goes last and wins its collisions.
+	arcs := s.ov.Arcs()
+	deltas := make([]map[int][]int, 0, len(regions)+1)
+	for r, ra := range regions {
+		if ra == nil {
+			continue
+		}
+		arcs += ra.arcsDelta
+		deltas = append(deltas, ra.rows)
+		s.totals.ShardApplied[r] += int64(ra.applied)
+	}
+	epiRows, epiN, epiArcs := epiView.Delta()
+	arcs += epiArcs
+	deltas = append(deltas, epiRows)
+	s.ov.ApplyDeltas(epiN, arcs, deltas...)
+
+	for _, ra := range regions {
+		if ra == nil {
+			continue
+		}
+		for _, p := range ra.lists {
+			s.inst.Lists[p.node] = p.list
+			s.inst.Defects[p.node] = p.defects
+		}
+	}
+	for _, p := range epiLists {
+		s.inst.Lists[p.node] = p.list
+		s.inst.Defects[p.node] = p.defects
+	}
+	for _, p := range epiNodes {
+		s.inst.Lists = append(s.inst.Lists, p.list)
+		s.inst.Defects = append(s.inst.Defects, p.defects)
+		s.colors = append(s.colors, p.list[0])
+	}
+
+	rep.Applied = len(ops)
+	rep.NewNodes = newNodes
+	s.totals.DeferredOps += int64(len(plan.deferred))
+	s.totals.ParallelBatches++
+
+	size := len(epiDirty)
+	for _, ra := range regions {
+		if ra != nil {
+			size += len(ra.dirty)
+		}
+	}
+	dirty := make([]int, 0, size)
+	for _, ra := range regions {
+		if ra == nil {
+			continue
+		}
+		for v := range ra.dirty {
+			if !epiDirty[v] {
+				dirty = append(dirty, v)
+			}
+		}
+	}
+	for v := range epiDirty {
+		dirty = append(dirty, v)
+	}
+	sort.Ints(dirty)
+	return dirty, nil
+}
+
+// applyViewOp executes one op against a view, mirroring
+// Service.apply's semantics and error text exactly, but staging every
+// instance/color mutation (lists, nodes) so a failed batch leaves no
+// trace. nodes/newNodes are nil for region views — the classifier
+// never routes add_node to a region.
+func (s *Service) applyViewOp(view *graph.OverlayView, op Op, dirty map[int]bool, lists *[]pendingList, nodes *[]pendingNode, newNodes *[]int) error {
+	switch op.Action {
+	case OpAddEdge:
+		if err := view.AddEdge(op.U, op.V); err != nil {
+			return err
+		}
+		dirty[op.U] = true
+		dirty[op.V] = true
+	case OpRemoveEdge:
+		if !view.RemoveEdge(op.U, op.V) {
+			return fmt.Errorf("edge {%d,%d} not present", op.U, op.V)
+		}
+		dirty[op.U] = true
+		dirty[op.V] = true
+	case OpAddNode:
+		list, defects, err := s.newNodeConstraints(op)
+		if err != nil {
+			return err
+		}
+		v := view.AddNode()
+		*nodes = append(*nodes, pendingNode{list: list, defects: defects})
+		*newNodes = append(*newNodes, v)
+		dirty[v] = true
+	case OpRemoveNode:
+		if op.Node < 0 || op.Node >= view.N() {
+			return fmt.Errorf("node %d out of range", op.Node)
+		}
+		former := view.RemoveNode(op.Node)
+		dirty[op.Node] = true
+		for _, u := range former {
+			dirty[u] = true
+		}
+	case OpSetList:
+		if op.Node < 0 || op.Node >= view.N() {
+			return fmt.Errorf("node %d out of range", op.Node)
+		}
+		list, defects, err := s.checkConstraints(op.List, op.Defects)
+		if err != nil {
+			return err
+		}
+		*lists = append(*lists, pendingList{node: op.Node, list: list, defects: defects})
+		dirty[op.Node] = true
+	default:
+		return fmt.Errorf("unknown action %q", op.Action)
+	}
+	return nil
+}
+
+// repairSharded heals the dirty set region-parallel: the sorted seeds
+// are partitioned by region and one repair.HealRegion per non-empty
+// region runs concurrently over the shared colors slice (regions only
+// read and write their own vertices). If every region's frontier
+// stayed contained the merged report is byte-identical to the global
+// seeded run; otherwise every region's recolors are rolled back and
+// the caller falls back to global HealLocal. Caller holds mu; the
+// overlay is read-only for the duration.
+func (s *Service) repairSharded(dirty []int) (repair.HealReport, bool) {
+	bounds := s.regionBounds()
+	nRegions := len(bounds) - 1
+	if nRegions <= 1 {
+		return repair.HealReport{}, false
+	}
+	seeds := make([][]int, nRegions)
+	r := 0
+	for _, v := range dirty {
+		for r+1 < nRegions && v >= bounds[r+1] {
+			r++
+		}
+		seeds[r] = append(seeds[r], v)
+	}
+
+	reports := make([]repair.HealReport, nRegions)
+	undos := make([][]repair.Recolor, nRegions)
+	oks := make([]bool, nRegions)
+	var wg sync.WaitGroup
+	active := 0
+	for i := 0; i < nRegions; i++ {
+		if len(seeds[i]) == 0 {
+			oks[i] = true
+			continue
+		}
+		active++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], undos[i], oks[i] = repair.HealRegion(
+				s.ov, s.inst, s.colors, seeds[i], bounds[i], bounds[i+1], s.opts.RoundBudget)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < nRegions; i++ {
+		if !oks[i] {
+			// A frontier escaped its region: restore every region's
+			// recolors (regions write disjoint vertices, so rollback
+			// order across regions is immaterial) and let the global
+			// seeded run take it from the exact pre-repair state.
+			for j := 0; j < nRegions; j++ {
+				repair.Rollback(s.colors, undos[j])
+			}
+			return repair.HealReport{}, false
+		}
+	}
+
+	merged := make([]repair.HealReport, 0, active)
+	for i := 0; i < nRegions; i++ {
+		if len(seeds[i]) == 0 {
+			continue
+		}
+		merged = append(merged, reports[i])
+		s.totals.ShardRecolored[i] += int64(reports[i].Recolored)
+	}
+	return repair.MergeRegionReports(merged), true
+}

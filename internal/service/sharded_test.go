@@ -1,0 +1,563 @@
+package service
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+)
+
+// slackInstance builds an instance sized to the topology: palette
+// space maxdeg+4 (so a conflict-minimizing recolor always has room)
+// with a uniform defect budget of 1 — enough slack that the initial
+// Heal converges on every generator, and enough pressure that churn
+// produces real hard conflicts and recolors.
+func slackInstance(base *graph.CSR) *coloring.Instance {
+	maxDeg := 0
+	for v := 0; v < base.N(); v++ {
+		if d := base.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	space := maxDeg + 4
+	full := make([]int, space)
+	for i := range full {
+		full[i] = i
+	}
+	ones := make([]int, space)
+	for i := range ones {
+		ones[i] = 1
+	}
+	inst := &coloring.Instance{Space: space, Lists: make([][]int, base.N()), Defects: make([][]int, base.N())}
+	for v := 0; v < base.N(); v++ {
+		inst.Lists[v] = full
+		inst.Defects[v] = ones
+	}
+	return inst
+}
+
+// churnMirror tracks the topology a generated script produces, so op
+// generation is deterministic and independent of any service state.
+type churnMirror struct {
+	n   int
+	adj []map[int]bool
+}
+
+func newChurnMirror(base *graph.CSR) *churnMirror {
+	m := &churnMirror{n: base.N(), adj: make([]map[int]bool, base.N())}
+	for v := 0; v < base.N(); v++ {
+		m.adj[v] = make(map[int]bool)
+		for _, u := range base.Row(v) {
+			m.adj[v][u] = true
+		}
+	}
+	return m
+}
+
+// nextWithEdges scans deterministically from u for a node with at
+// least one incident edge (-1 if the graph is empty).
+func (m *churnMirror) nextWithEdges(u int) int {
+	for d := 0; d < m.n; d++ {
+		v := (u + d) % m.n
+		if len(m.adj[v]) > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// smallestNeighbor returns min(adj[u]) by deterministic scan (map
+// iteration order must never leak into the script).
+func (m *churnMirror) smallestNeighbor(u int) int {
+	for d := 1; d < m.n; d++ {
+		v := (u + d) % m.n
+		if m.adj[u][v] {
+			return v
+		}
+	}
+	return -1
+}
+
+// churnScript generates a deterministic batched op stream: mostly
+// spatially local edge churn (offsets ≤ 8, so most frontiers stay
+// inside one shard region), plus long-range edges, node add/remove,
+// and set_list — the cross-region and order-sensitive traffic the
+// epilogue must serialize.
+func churnScript(base *graph.CSR, batches, batchSize int, seed int64) [][]Op {
+	rng := rand.New(rand.NewSource(seed))
+	m := newChurnMirror(base)
+	script := make([][]Op, 0, batches)
+	for b := 0; b < batches; b++ {
+		ops := make([]Op, 0, batchSize)
+		for len(ops) < batchSize {
+			switch r := rng.Intn(100); {
+			case r < 50: // local add_edge
+				u := rng.Intn(m.n)
+				v := (u + 1 + rng.Intn(8)) % m.n
+				if u == v || m.adj[u][v] {
+					continue
+				}
+				m.adj[u][v], m.adj[v][u] = true, true
+				ops = append(ops, Op{Action: OpAddEdge, U: u, V: v})
+			case r < 60: // long-range add_edge (usually cross-region)
+				u := rng.Intn(m.n)
+				v := (u + m.n/2 + rng.Intn(8)) % m.n
+				if u == v || m.adj[u][v] {
+					continue
+				}
+				m.adj[u][v], m.adj[v][u] = true, true
+				ops = append(ops, Op{Action: OpAddEdge, U: u, V: v})
+			case r < 80: // remove_edge
+				u := m.nextWithEdges(rng.Intn(m.n))
+				if u < 0 {
+					continue
+				}
+				v := m.smallestNeighbor(u)
+				delete(m.adj[u], v)
+				delete(m.adj[v], u)
+				ops = append(ops, Op{Action: OpRemoveEdge, U: u, V: v})
+			case r < 85: // add_node (default full-palette list)
+				m.adj = append(m.adj, make(map[int]bool))
+				m.n++
+				ops = append(ops, Op{Action: OpAddNode})
+			case r < 92: // remove_node
+				u := m.nextWithEdges(rng.Intn(m.n))
+				if u < 0 {
+					continue
+				}
+				for v := range m.adj[u] {
+					delete(m.adj[v], u)
+				}
+				m.adj[u] = make(map[int]bool)
+				ops = append(ops, Op{Action: OpRemoveNode, Node: u})
+			default: // set_list: bump the node's defect budget
+				u := rng.Intn(m.n)
+				space := 0 // filled by caller via inst? keep full list implicit
+				_ = space
+				ops = append(ops, Op{Action: OpSetList, Node: u})
+			}
+		}
+		script = append(script, ops)
+	}
+	return script
+}
+
+// fillSetLists completes set_list ops with the instance's palette (a
+// full list, defect budget 2 — a slack bump the repair schedule
+// must account identically at every shard count).
+func fillSetLists(script [][]Op, space int) {
+	full := make([]int, space)
+	for i := range full {
+		full[i] = i
+	}
+	twos := make([]int, space)
+	for i := range twos {
+		twos[i] = 2
+	}
+	for _, ops := range script {
+		for i := range ops {
+			if ops[i].Action == OpSetList {
+				ops[i].List = full
+				ops[i].Defects = twos
+			}
+		}
+	}
+}
+
+// batchOutcome is everything observable from one ApplyBatch call.
+type batchOutcome struct {
+	rep    BatchReport
+	errStr string
+	colors []int
+}
+
+// runScript drives a fresh service through the script, recording
+// every batch's full observable outcome.
+func runScript(t *testing.T, base *graph.CSR, inst *coloring.Instance, opts Options, script [][]Op) ([]batchOutcome, Stats) {
+	t.Helper()
+	s := mustService(t, base, inst, opts)
+	outs := make([]batchOutcome, 0, len(script))
+	for bi, ops := range script {
+		rep, err := s.ApplyBatch(ops)
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		snap := s.Snapshot()
+		outs = append(outs, batchOutcome{rep: rep, errStr: errStr, colors: snap.Colors})
+		if err == nil {
+			if verr := s.ValidateState(); verr != nil {
+				t.Fatalf("batch %d: invalid state: %v", bi, verr)
+			}
+		}
+	}
+	return outs, s.Stats()
+}
+
+// normalizeStats zeroes the fields that legitimately differ across
+// shard counts (shard diagnostics) or across runs (time-derived
+// rates). Everything else must be byte-identical.
+func normalizeStats(st Stats) Stats {
+	st.Shards = 0
+	st.ParallelBatches = 0
+	st.DeferredOps = 0
+	st.ApplyFallbacks = 0
+	st.RepairFallbacks = 0
+	st.ShardApplied = nil
+	st.ShardRecolored = nil
+	st.UptimeSec = 0
+	st.UpdatesPerSec = 0
+	return st
+}
+
+func sweepTopologies(t *testing.T) map[string]*graph.CSR {
+	t.Helper()
+	return map[string]*graph.CSR{
+		"ring":     graph.StreamedRing(400),
+		"gnp":      graph.StreamedGNP(300, 0.015, 11),
+		"powerlaw": graph.StreamedPowerLaw(300, 2, 7),
+	}
+}
+
+// TestShardSweepEquivalence is the tentpole contract: on ring, gnp,
+// and power-law churn scripts, every batch's colors, BatchReport, and
+// error text — and the final counter totals — are byte-identical
+// across shards ∈ {1, 2, 4, 7, GOMAXPROCS}, with background
+// compaction active (small threshold) so rebase scheduling is
+// exercised under the sweep too.
+func TestShardSweepEquivalence(t *testing.T) {
+	shardCounts := []int{1, 2, 4, 7, runtime.GOMAXPROCS(0)}
+	for name, base := range sweepTopologies(t) {
+		inst := slackInstance(base)
+		script := churnScript(base, 40, 8, int64(len(name))*1000+42)
+		fillSetLists(script, inst.Space)
+
+		refOuts, refStats := runScript(t, base, inst, Options{Shards: 1, CompactThreshold: 64}, script)
+		refN := normalizeStats(refStats)
+
+		for _, sc := range shardCounts {
+			if sc <= 1 {
+				continue
+			}
+			outs, stats := runScript(t, base, inst, Options{Shards: sc, CompactThreshold: 64}, script)
+			if len(outs) != len(refOuts) {
+				t.Fatalf("%s shards=%d: %d outcomes vs %d", name, sc, len(outs), len(refOuts))
+			}
+			for bi := range outs {
+				if !reflect.DeepEqual(outs[bi].rep, refOuts[bi].rep) {
+					t.Fatalf("%s shards=%d batch %d: report diverged\n got %+v\nwant %+v",
+						name, sc, bi, outs[bi].rep, refOuts[bi].rep)
+				}
+				if outs[bi].errStr != refOuts[bi].errStr {
+					t.Fatalf("%s shards=%d batch %d: error text %q, want %q",
+						name, sc, bi, outs[bi].errStr, refOuts[bi].errStr)
+				}
+				if !reflect.DeepEqual(outs[bi].colors, refOuts[bi].colors) {
+					t.Fatalf("%s shards=%d batch %d: colors diverged", name, sc, bi)
+				}
+			}
+			if got := normalizeStats(stats); !reflect.DeepEqual(got, refN) {
+				t.Fatalf("%s shards=%d: stats diverged\n got %+v\nwant %+v", name, sc, got, refN)
+			}
+			if name == "ring" && sc == 4 {
+				// The local-churn ring script must actually exercise the
+				// parallel path — a sweep that silently fell back to
+				// sequential every batch would vacuously pass.
+				if stats.ParallelBatches == 0 {
+					t.Fatalf("%s shards=%d: no batch took the parallel path", name, sc)
+				}
+				applied := int64(0)
+				for _, a := range stats.ShardApplied {
+					applied += a
+				}
+				if applied == 0 {
+					t.Fatalf("%s shards=%d: no regional ops applied", name, sc)
+				}
+			}
+		}
+	}
+}
+
+// TestShardSweepErrorParity pins the rejection path: batches with a
+// failing op at the front, middle, and back — range errors, duplicate
+// edges, absent edges, unknown actions, bad lists — produce identical
+// partial application, report, and error text at every shard count
+// (the sharded path discards its attempt and replays sequentially).
+func TestShardSweepErrorParity(t *testing.T) {
+	base := graph.StreamedRing(120)
+	inst := slackInstance(base)
+	batches := [][]Op{
+		// error first: nothing applies
+		{{Action: OpAddEdge, U: 5, V: 5}, {Action: OpAddEdge, U: 1, V: 3}},
+		// error mid-batch after regional ops
+		{{Action: OpAddEdge, U: 10, V: 12}, {Action: OpRemoveEdge, U: 40, V: 77}, {Action: OpAddEdge, U: 20, V: 22}},
+		// error last, after a deferred (cross-region) op
+		{{Action: OpAddEdge, U: 2, V: 62}, {Action: OpAddEdge, U: 30, V: 32}, {Action: OpAddEdge, U: 200, V: 3}},
+		// duplicate edge created earlier in the same batch
+		{{Action: OpAddEdge, U: 50, V: 53}, {Action: OpAddEdge, U: 53, V: 50}},
+		// unknown action between valid ops
+		{{Action: OpAddEdge, U: 70, V: 72}, {Action: "bogus", Node: 1}, {Action: OpRemoveEdge, U: 70, V: 72}},
+		// bad set_list payloads
+		{{Action: OpSetList, Node: 8, List: []int{}}, {Action: OpAddEdge, U: 80, V: 82}},
+		{{Action: OpSetList, Node: 9, List: []int{1, 1}}, {Action: OpAddEdge, U: 90, V: 92}},
+		{{Action: OpSetList, Node: 9, List: []int{3}, Defects: []int{-1}}},
+		// remove_node out of range after regional traffic
+		{{Action: OpAddEdge, U: 100, V: 102}, {Action: OpRemoveNode, Node: 5000}},
+		// recovery batch: everything valid again
+		{{Action: OpAddEdge, U: 1, V: 5}, {Action: OpRemoveEdge, U: 10, V: 12}},
+	}
+
+	run := func(shards int) ([]batchOutcome, Stats) {
+		s := mustService(t, base, inst, Options{Shards: shards})
+		outs := make([]batchOutcome, 0, len(batches))
+		for _, ops := range batches {
+			rep, err := s.ApplyBatch(ops)
+			errStr := ""
+			if err != nil {
+				errStr = err.Error()
+			}
+			outs = append(outs, batchOutcome{rep: rep, errStr: errStr, colors: s.Snapshot().Colors})
+		}
+		return outs, s.Stats()
+	}
+
+	refOuts, refStats := run(1)
+	for _, sc := range []int{2, 4, 7} {
+		outs, stats := run(sc)
+		for bi := range outs {
+			if outs[bi].errStr != refOuts[bi].errStr {
+				t.Fatalf("shards=%d batch %d: error %q, want %q", sc, bi, outs[bi].errStr, refOuts[bi].errStr)
+			}
+			if !reflect.DeepEqual(outs[bi].rep, refOuts[bi].rep) {
+				t.Fatalf("shards=%d batch %d: report diverged\n got %+v\nwant %+v", sc, bi, outs[bi].rep, refOuts[bi].rep)
+			}
+			if !reflect.DeepEqual(outs[bi].colors, refOuts[bi].colors) {
+				t.Fatalf("shards=%d batch %d: colors diverged", sc, bi)
+			}
+		}
+		if got, want := normalizeStats(stats), normalizeStats(refStats); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: stats diverged\n got %+v\nwant %+v", sc, got, want)
+		}
+	}
+}
+
+// TestSnapshotReadsLockFree pins the read-path contract: Stats,
+// HasEdge, DegreeOf, Color, and ColorsOf are served from the atomic
+// snapshot and never take the writer lock — calling them while the
+// lock is held must not deadlock.
+func TestSnapshotReadsLockFree(t *testing.T) {
+	s := mustService(t, graph.StreamedRing(32), palInstance(32, 4), Options{})
+	if _, err := s.ApplyBatch([]Op{{Action: OpAddEdge, U: 0, V: 2}}); err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+
+	s.mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if !s.HasEdge(0, 2) {
+			t.Error("HasEdge(0,2) = false after insert")
+		}
+		if d := s.DegreeOf(0); d != 3 {
+			t.Errorf("DegreeOf(0) = %d, want 3", d)
+		}
+		if st := s.Stats(); st.Updates != 1 {
+			t.Errorf("Stats().Updates = %d, want 1", st.Updates)
+		}
+		if _, _, ok := s.Color(0); !ok {
+			t.Error("Color(0) not ok")
+		}
+		if _, _, ok := s.ColorsOf([]int{0, 1}); !ok {
+			t.Error("ColorsOf not ok")
+		}
+	}()
+	<-done
+	s.mu.Unlock()
+}
+
+// TestServiceConcurrentShardedReadWrite is the -race soak for the
+// sharded write path: a writer applies local-churn batches at
+// Shards=4 (parallel region goroutines mutating views and repairing
+// colors) while reader goroutines hammer the snapshot endpoints,
+// including topology reads through the published TopoView chain
+// across background compaction swaps.
+func TestServiceConcurrentShardedReadWrite(t *testing.T) {
+	const n = 600
+	base := graph.StreamedRing(n)
+	inst := slackInstance(base)
+	s := mustService(t, base, inst, Options{Shards: 4, CompactThreshold: 32})
+	script := churnScript(base, 30, 8, 99)
+	fillSetLists(script, inst.Space)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := i % s.N()
+				s.Color(v)
+				s.HasEdge(v, (v+1)%n)
+				s.DegreeOf(v)
+				s.Stats()
+				s.ColorsOf([]int{v, (v + 7) % n})
+				snap := s.Snapshot()
+				if snap.Topo.N() != len(snap.Colors) {
+					t.Errorf("snapshot topo n=%d vs %d colors", snap.Topo.N(), len(snap.Colors))
+					return
+				}
+				i++
+			}
+		}(g)
+	}
+
+	for bi, ops := range script {
+		if _, err := s.ApplyBatch(ops); err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := s.ValidateState(); err != nil {
+		t.Fatalf("final state invalid: %v", err)
+	}
+	if st := s.Stats(); st.ParallelBatches == 0 {
+		t.Fatal("soak never took the parallel path")
+	}
+}
+
+// benchReads is the read mix the lock-contention satellite measures:
+// previously Stats/HasEdge/DegreeOf took the writer lock and stalled
+// behind ApplyBatch; now all three serve from the atomic snapshot.
+func benchReads(s *Service, i, n int) int {
+	v := i % n
+	sink := 0
+	if s.HasEdge(v, (v+1)%n) {
+		sink++
+	}
+	sink += s.DegreeOf(v)
+	sink += int(s.Stats().Updates)
+	return sink
+}
+
+// BenchmarkSnapshotReadsIdleWriter is the baseline read cost with no
+// writer traffic.
+func BenchmarkSnapshotReadsIdleWriter(b *testing.B) {
+	const n = 4096
+	base := graph.StreamedRing(n)
+	s, err := New(base, palInstance(n, 4), nil, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += benchReads(s, i, n)
+	}
+	_ = sink
+}
+
+// BenchmarkSnapshotReadsBusyWriter is the same read mix while a
+// writer applies churn batches flat out. With lock-served reads this
+// degraded by the writer's batch occupancy (multi-millisecond
+// stalls); with snapshot-served reads the per-read cost stays within
+// a small constant of the idle baseline.
+func BenchmarkSnapshotReadsBusyWriter(b *testing.B) {
+	const n = 4096
+	base := graph.StreamedRing(n)
+	inst := slackInstance(base)
+	s, err := New(base, inst, nil, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	script := churnScript(base, 64, 32, 1)
+	fillSetLists(script, inst.Space)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = s.ApplyBatch(script[i%len(script)])
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += benchReads(s, i, n)
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	_ = sink
+}
+
+// TestBackgroundCompactionSwap pins the off-critical-path compaction
+// protocol: the launch batch reports Compacted, the swap happens at
+// the next batch boundary (patch count drops to the rows mutated
+// since the freeze), and reads through the rebased snapshot stay
+// correct.
+func TestBackgroundCompactionSwap(t *testing.T) {
+	base := graph.StreamedRing(64)
+	s := mustService(t, base, palInstance(64, 5), Options{CompactThreshold: 8})
+
+	var launched bool
+	for i := 0; i < 12 && !launched; i++ {
+		u := (3 * i) % 64
+		rep, err := s.ApplyBatch([]Op{
+			{Action: OpAddEdge, U: u, V: (u + 5) % 64},
+			{Action: OpAddEdge, U: (u + 11) % 64, V: (u + 17) % 64},
+		})
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		launched = rep.Compacted
+	}
+	if !launched {
+		t.Fatal("compaction never launched")
+	}
+	if got := s.Stats().Compactions; got != 1 {
+		t.Fatalf("Compactions = %d, want 1", got)
+	}
+	patchedAtLaunch := s.Stats().Patched
+	if patchedAtLaunch <= 8 {
+		t.Fatalf("patched = %d at launch, want > threshold", patchedAtLaunch)
+	}
+
+	// The next batch blocks on the builder, rebases, and the patch map
+	// keeps only the rows this batch (and any post-freeze churn)
+	// touched.
+	if _, err := s.ApplyBatch([]Op{{Action: OpAddEdge, U: 1, V: 30}}); err != nil {
+		t.Fatalf("swap batch: %v", err)
+	}
+	if got := s.Stats().Patched; got >= patchedAtLaunch {
+		t.Fatalf("patched = %d after swap, want < %d", got, patchedAtLaunch)
+	}
+	if !s.HasEdge(1, 30) {
+		t.Fatal("post-swap snapshot lost the new edge")
+	}
+	if !s.HasEdge(0, 5) && !s.HasEdge(3, 8) {
+		// edges from the pre-compaction churn must survive the rebase
+		t.Fatal("post-swap snapshot lost pre-compaction edges")
+	}
+	if err := s.ValidateState(); err != nil {
+		t.Fatalf("post-swap state invalid: %v", err)
+	}
+}
