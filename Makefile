@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-scale bench bench-sim bench-local bench-harness bench-service bench-service-shards race-service fuzz tables cover conform conformance clean
+.PHONY: all build vet test race test-scale bench bench-sim bench-graph bench-local bench-harness bench-service bench-service-shards race-service race-substrate fuzz tables cover conform conformance clean
 
 all: build vet test
 
@@ -33,6 +33,11 @@ bench:
 bench-sim:
 	$(GO) run ./cmd/benchtab -sim > BENCH_sim.json
 
+# Parallel graph substrate: segmented multi-core CSR builds and the
+# range-partitioned defect audit vs their sequential references. The
+# rows land in the `graph_build` section of BENCH_sim.json.
+bench-graph: bench-sim
+
 # Local-computation selection report (docs/TESTING.md §BENCH_local.json).
 bench-local:
 	$(GO) run ./cmd/benchtab -local > BENCH_local.json
@@ -57,6 +62,13 @@ race-service:
 	$(GO) test -race -count 2 -run 'Concurrent' ./internal/service
 	$(GO) test -race -run 'TestShardSweep' ./internal/service
 
+# Parallel substrate equivalence under the race detector: segmented
+# builds byte-identical to sequential, audit reports identical at
+# every worker count, and the snapshot-audit soak under churn.
+race-substrate:
+	$(GO) test -race -count 2 -run 'TestBuildCSRParallel|TestSegmented|TestRingSegmented' ./internal/graph
+	$(GO) test -race -count 2 -run 'TestAuditParallel' ./internal/coloring ./internal/service
+
 fuzz:
 	$(GO) test -fuzz FuzzReadEdgeList -fuzztime 15s ./internal/graph
 	$(GO) test -fuzz FuzzOrientRoundTrip -fuzztime 15s ./internal/graph
@@ -66,6 +78,7 @@ fuzz:
 	$(GO) test -fuzz FuzzRouteEquivalence -fuzztime 15s ./internal/sim
 	$(GO) test -fuzz FuzzCorruptedPayloadDecode -fuzztime 15s ./internal/sim
 	$(GO) test -fuzz FuzzStreamingCSRBuild -fuzztime 15s ./internal/graph
+	$(GO) test -fuzz FuzzParallelCSRBuild -fuzztime 15s ./internal/graph
 
 # Conformance matrix: CLI summary / heavy go-test tier (docs/TESTING.md).
 conform:

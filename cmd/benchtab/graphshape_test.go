@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"listcolor/internal/bench"
+)
+
+// TestGraphBenchShape pins the graph_build section of BENCH_sim.json:
+// the -graph -quick run (the -sim alias) must emit JSON that
+// round-trips into SimBenchReport with no unknown fields and carry one
+// graph_build row per (workload, workers) pair, every row reporting
+// byte-identity to the sequential build, an equal audit report, and a
+// plausible work-distribution account. Timings are machine-dependent
+// and only sanity-checked; the identity columns are the contract.
+func TestGraphBenchShape(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-graph", "-quick"}, &out, &errb); code != 0 {
+		t.Fatalf("run -graph -quick = %d, stderr: %s", code, errb.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out.Bytes()))
+	dec.DisallowUnknownFields()
+	var rep bench.SimBenchReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_sim.json shape drifted: %v", err)
+	}
+	workloads := len(bench.GraphBuildWorkloads(true))
+	if len(rep.GraphBuild) < 2*workloads { // ≥ 2 worker counts per workload
+		t.Fatalf("graph_build has %d rows, want ≥ %d", len(rep.GraphBuild), 2*workloads)
+	}
+	hostW := runtime.GOMAXPROCS(0)
+	for _, e := range rep.GraphBuild {
+		if !e.IdenticalToSeq {
+			t.Errorf("%s workers=%d: parallel build not byte-identical", e.Workload, e.Workers)
+		}
+		if !e.AuditIdenticalToSeq {
+			t.Errorf("%s workers=%d: audit report diverges", e.Workload, e.Workers)
+		}
+		if e.Nodes <= 0 || e.Edges <= 0 || e.Workers < 2 || e.Segments < 1 {
+			t.Errorf("%s: implausible row %+v", e.Workload, e)
+		}
+		if e.SegmentBalance < 1 {
+			t.Errorf("%s workers=%d: segment balance %f < 1 (max/mean)", e.Workload, e.Workers, e.SegmentBalance)
+		}
+		if e.SeqBuildSec <= 0 || e.ParBuildSec <= 0 || e.AuditSeqSec <= 0 || e.AuditParSec <= 0 ||
+			e.BuildSpeedup <= 0 || e.AuditSpeedup <= 0 || e.AuditEdgesPerSec <= 0 {
+			t.Errorf("%s workers=%d: non-positive timing in %+v", e.Workload, e.Workers, e)
+		}
+		if e.Workers > 2*hostW && e.Workers != 4 {
+			t.Errorf("%s: unexpected worker count %d for host with GOMAXPROCS=%d", e.Workload, e.Workers, hostW)
+		}
+	}
+}
+
+// TestCommittedGraphBuildRows checks the repo's BENCH_sim.json still
+// carries the substrate evidence: graph_build rows at 10⁶ nodes with
+// the identity verdicts true.
+func TestCommittedGraphBuildRows(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_sim.json")
+	if err != nil {
+		t.Fatalf("read committed BENCH_sim.json: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var rep bench.SimBenchReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("committed BENCH_sim.json shape drifted: %v", err)
+	}
+	if len(rep.GraphBuild) == 0 {
+		t.Fatal("committed BENCH_sim.json has no graph_build rows")
+	}
+	atScale := false
+	for _, e := range rep.GraphBuild {
+		if !e.IdenticalToSeq || !e.AuditIdenticalToSeq {
+			t.Errorf("committed row %s workers=%d lost an identity verdict", e.Workload, e.Workers)
+		}
+		if e.Nodes == 1_000_000 {
+			atScale = true
+		}
+	}
+	if !atScale {
+		t.Error("committed BENCH_sim.json has no graph_build row at n=10⁶")
+	}
+}

@@ -131,6 +131,7 @@ func sharedPalette(n, space, defect int) *coloring.Instance {
 func runChurn(svc *service.Service, space, churn, batchSize int, seed int64, verify bool) {
 	rng := rand.New(rand.NewSource(seed * 7919))
 	applied, batches, maxRounds, violations := 0, 0, 0, 0
+	scans, scannedArcs, scanSec := 0, int64(0), 0.0
 	start := time.Now()
 	probe := newEdgeProbe(svc)
 	for applied < churn {
@@ -160,7 +161,12 @@ func runChurn(svc *service.Service, space, churn, batchSize int, seed int64, ver
 			maxRounds = rep.Rounds
 		}
 		if verify {
-			if err := svc.ValidateState(); err != nil {
+			scanStart := time.Now()
+			rep := svc.AuditState(0) // parallel defect-audit kernel, auto worker count
+			scanSec += time.Since(scanStart).Seconds()
+			scannedArcs += rep.ScannedArcs
+			scans++
+			if err := rep.Err(); err != nil {
 				violations++
 				fmt.Fprintf(os.Stderr, "VALIDITY VIOLATION after batch %d: %v\n", batches, err)
 			}
@@ -174,6 +180,10 @@ func runChurn(svc *service.Service, space, churn, batchSize int, seed int64, ver
 	out, _ := json.MarshalIndent(st, "", "  ")
 	fmt.Println(string(out))
 	if verify {
+		if scanSec > 0 {
+			fmt.Printf("audit: %d scans, %d arcs in %.2fs (%.0f arcs/s)\n",
+				scans, scannedArcs, scanSec, float64(scannedArcs)/scanSec)
+		}
 		if violations > 0 {
 			fatalf("%d validity violations", violations)
 		}

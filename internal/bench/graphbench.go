@@ -1,0 +1,222 @@
+package bench
+
+// graphbench.go measures the parallel graph substrate: segmented
+// multi-core CSR builds (graph.BuildCSRParallel) against their
+// sequential StreamCSR reference, and the range-partitioned defect
+// audit (coloring.AuditParallel) against the sequential scan — at
+// 10⁶ nodes in the full tier. Every row carries the byte-identity and
+// report-equality verdicts plus a deterministic work-distribution
+// account (segment balance), so the table stays meaningful on a
+// single-CPU container where the speedup columns hover near 1: the
+// determinism contract, not the wall clock, is the primary signal
+// (the PR 4/8 precedent). cmd/benchtab -sim (or its -graph alias)
+// renders the result as the "graph_build" section of BENCH_sim.json.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"listcolor/internal/coloring"
+	"listcolor/internal/graph"
+)
+
+// GraphBuildWorkload is one substrate-benchmark instance: a segmented
+// stream plus the audit palette its defect scan uses.
+type GraphBuildWorkload struct {
+	Name  string
+	N     int
+	Space int
+	Make  func() graph.SegmentedStream
+}
+
+// GraphBuildWorkloads returns the substrate instances. Full mode is
+// the BENCH_sim.json tier: the 10⁶-node ring and the range-keyed
+// G(n, p) at average degree 8 — the canonical scale workload of the
+// segmented generators. Quick shrinks n to smoke-test the same code
+// path in CI.
+func GraphBuildWorkloads(quick bool) []GraphBuildWorkload {
+	if quick {
+		return []GraphBuildWorkload{
+			{Name: "ring20k", N: 20_000, Space: 8,
+				Make: func() graph.SegmentedStream { return graph.RingSegmented(20_000) }},
+			{Name: "gnpseg20k", N: 20_000, Space: 16,
+				Make: func() graph.SegmentedStream { return graph.GNPSegmented(20_000, 8.0/20_000, 1) }},
+		}
+	}
+	return []GraphBuildWorkload{
+		{Name: "ring1e6", N: 1_000_000, Space: 8,
+			Make: func() graph.SegmentedStream { return graph.RingSegmented(1_000_000) }},
+		{Name: "gnpseg1e6", N: 1_000_000, Space: 16,
+			Make: func() graph.SegmentedStream { return graph.GNPSegmented(1_000_000, 8.0/1_000_000, 1) }},
+	}
+}
+
+// GraphBuildEntry is one (workload, workers) substrate measurement.
+type GraphBuildEntry struct {
+	Workload string `json:"workload"`
+	Nodes    int    `json:"nodes"`
+	Edges    int64  `json:"edges"`
+	// Segments is how many segments the stream actually split into at
+	// this worker count; SegmentBalance is max/mean arcs per segment —
+	// the deterministic work-distribution account (1.0 = perfectly
+	// even), meaningful regardless of core count.
+	Segments       int     `json:"segments"`
+	Workers        int     `json:"workers"`
+	SegmentBalance float64 `json:"segment_balance"`
+	// Build timings: the sequential StreamCSR reference vs the
+	// segmented parallel build, and whether the two CSRs are
+	// byte-identical (raw rowPtr + column arrays, not fingerprints).
+	SeqBuildSec    float64 `json:"seq_build_sec"`
+	ParBuildSec    float64 `json:"par_build_sec"`
+	BuildSpeedup   float64 `json:"build_speedup"`
+	IdenticalToSeq bool    `json:"identical_to_seq"`
+	// Audit timings: the sequential whole-graph defect scan vs the
+	// range-partitioned kernel at this worker count, with the
+	// report-equality verdict (field-for-field, violation text
+	// included).
+	AuditSeqSec         float64 `json:"audit_seq_sec"`
+	AuditParSec         float64 `json:"audit_par_sec"`
+	AuditSpeedup        float64 `json:"audit_speedup"`
+	AuditEdgesPerSec    float64 `json:"audit_edges_per_sec"`
+	AuditIdenticalToSeq bool    `json:"audit_identical_to_seq"`
+}
+
+// graphBenchWorkers returns the worker counts each workload is
+// measured at: 2, 4, and the host's GOMAXPROCS, deduplicated and
+// sorted. All are explicit (> 1), so the segmented machinery is
+// exercised even on a single-CPU container.
+func graphBenchWorkers() []int {
+	set := map[int]bool{2: true, 4: true}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		set[p] = true
+	}
+	out := make([]int, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sharedPaletteInstance builds the audit instance of the substrate
+// rows: every node may wear any color in [0, space) with zero defect
+// budget, the lists and budgets shared across nodes (O(space) extra
+// memory at 10⁶ nodes).
+func sharedPaletteInstance(n, space int) *coloring.Instance {
+	list := make([]int, space)
+	zeros := make([]int, space)
+	for i := range list {
+		list[i] = i
+	}
+	in := &coloring.Instance{Space: space, Lists: make([][]int, n), Defects: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		in.Lists[v] = list
+		in.Defects[v] = zeros
+	}
+	return in
+}
+
+// segmentBalance replays each segment counting arcs and returns
+// (segments, max/mean balance). The replay is deterministic, so the
+// column is identical on every host.
+func segmentBalance(segs []graph.EdgeStream) (int, float64) {
+	arcs := make([]int64, len(segs))
+	total := int64(0)
+	for i, s := range segs {
+		var a int64
+		s(func(u, v int) { a += 2 })
+		arcs[i], total = a, total+a
+	}
+	if total == 0 || len(segs) == 0 {
+		return len(segs), 1
+	}
+	maxA := arcs[0]
+	for _, a := range arcs[1:] {
+		if a > maxA {
+			maxA = a
+		}
+	}
+	mean := float64(total) / float64(len(segs))
+	return len(segs), float64(maxA) / mean
+}
+
+// MeasureGraphBuild times the sequential and parallel builds and
+// audits of one workload at one worker count and verifies both
+// determinism contracts.
+func MeasureGraphBuild(w GraphBuildWorkload, workers int) (GraphBuildEntry, error) {
+	ss := w.Make()
+
+	runtime.GC()
+	t0 := time.Now()
+	seq, err := graph.StreamCSR(w.N, ss.Stream())
+	seqSec := time.Since(t0).Seconds()
+	if err != nil {
+		return GraphBuildEntry{}, fmt.Errorf("bench: %s sequential build: %w", w.Name, err)
+	}
+
+	runtime.GC()
+	t1 := time.Now()
+	par, err := graph.BuildCSRParallel(w.N, ss, workers)
+	parSec := time.Since(t1).Seconds()
+	if err != nil {
+		return GraphBuildEntry{}, fmt.Errorf("bench: %s parallel build (workers=%d): %w", w.Name, workers, err)
+	}
+
+	segments, balance := segmentBalance(ss.Segments(workers))
+
+	inst := sharedPaletteInstance(w.N, w.Space)
+	colors := make([]int, w.N)
+	for v := range colors {
+		colors[v] = v % w.Space
+	}
+	runtime.GC()
+	a0 := time.Now()
+	seqRep := coloring.Audit(par, inst, colors)
+	auditSeqSec := time.Since(a0).Seconds()
+	a1 := time.Now()
+	parRep := coloring.AuditParallel(par, inst, colors, workers)
+	auditParSec := time.Since(a1).Seconds()
+
+	e := GraphBuildEntry{
+		Workload:            w.Name,
+		Nodes:               par.N(),
+		Edges:               par.M(),
+		Segments:            segments,
+		Workers:             workers,
+		SegmentBalance:      balance,
+		SeqBuildSec:         seqSec,
+		ParBuildSec:         parSec,
+		BuildSpeedup:        seqSec / parSec,
+		IdenticalToSeq:      par.EqualBytes(seq),
+		AuditSeqSec:         auditSeqSec,
+		AuditParSec:         auditParSec,
+		AuditSpeedup:        auditSeqSec / auditParSec,
+		AuditEdgesPerSec:    float64(seqRep.ScannedArcs) / 2 / auditParSec,
+		AuditIdenticalToSeq: coloring.AuditReportsEqual(seqRep, parRep),
+	}
+	if !e.IdenticalToSeq {
+		return e, fmt.Errorf("bench: %s workers=%d: parallel build is not byte-identical to sequential", w.Name, workers)
+	}
+	if !e.AuditIdenticalToSeq {
+		return e, fmt.Errorf("bench: %s workers=%d: parallel audit report diverges from sequential", w.Name, workers)
+	}
+	return e, nil
+}
+
+// RunGraphBuildBench measures every substrate workload at every
+// benchmark worker count.
+func RunGraphBuildBench(quick bool) ([]GraphBuildEntry, error) {
+	var out []GraphBuildEntry
+	for _, w := range GraphBuildWorkloads(quick) {
+		for _, workers := range graphBenchWorkers() {
+			e, err := MeasureGraphBuild(w, workers)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

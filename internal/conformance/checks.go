@@ -156,6 +156,23 @@ func RunCell(env *Env, s Solver, opt Options) CellResult {
 		res.Failures = append(res.Failures, fmt.Sprintf("validator: %v", err))
 	}
 	res.Checks = append(res.Checks, s.Check(c, ref)...)
+
+	// Parallel defect-audit equivalence: the range-partitioned audit
+	// kernel must reproduce the sequential scan field-for-field — same
+	// counters, same first violation text — on every cell's output.
+	// Only par ≡ seq is asserted, not validity: OLDC cells judge their
+	// output under orientation semantics the plain defect audit does
+	// not model, so their audit may legitimately flag violations.
+	if c.Inst != nil && c.G != nil && c.Inst.N() == c.G.N() && len(ref.Colors) == c.G.N() {
+		seq := coloring.Audit(c.G, c.Inst, ref.Colors)
+		agree := true
+		for _, w := range []int{2, 3} {
+			if !coloring.AuditReportsEqual(seq, coloring.AuditParallel(c.G, c.Inst, ref.Colors, w)) {
+				agree = false
+			}
+		}
+		res.Checks = append(res.Checks, quality.CheckHolds("parallel defect audit ≡ sequential", agree))
+	}
 	res.Failures = append(res.Failures, quality.Failures(res.Checks)...)
 
 	// (a) Driver equivalence: byte-identical colors, rounds and

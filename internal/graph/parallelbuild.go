@@ -1,0 +1,266 @@
+package graph
+
+// Multi-core CSR construction: the segmented two-pass build behind
+// BuildCSRParallel. The sequential StreamCSR (csrgraph.go) counts
+// degrees in one pass and fills row cursors in a second; here W
+// workers do both passes on disjoint replayable segments of the same
+// edge sequence, and an exclusive prefix sum over the (segment ×
+// vertex) degree histograms assigns every segment a deterministic
+// write window inside each row:
+//
+//	slot(s, v, i) = rowPtr[v] + Σ_{s'<s} count[s'][v] + i
+//
+// Segment s's i-th arc of row v lands exactly where the sequential
+// fill would have put it, because the segments concatenate to the
+// sequential emission order — so the column array is byte-identical to
+// StreamCSR's *before* the row-normalization sweep even runs, and the
+// sweep (sort + duplicate detection, itself range-parallel here) is
+// identical on identical bytes. Build errors are deterministic too:
+// the counting pass surfaces the first bad edge of the lowest-indexed
+// failing segment, which in concatenation order is precisely the first
+// bad edge the sequential build would have reported, with the same
+// message.
+//
+// Peak build memory exceeds the sequential build's (which peaks at the
+// final CSR size) by the per-segment histograms: 4·k·n bytes for k
+// segments — the price of deterministic write windows; docs/MEMORY.md
+// carries the figures.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelBuildMinN is the auto-mode threshold below which
+// BuildCSRParallel (workers ≤ 0) keeps the sequential path: at small n
+// the histogram setup and goroutine handoff cost more than the build,
+// and conformance-sized instances must pay zero overhead
+// (BenchmarkBuildCSRParallelSmallN pins the regression).
+const parallelBuildMinN = 4096
+
+// parallelArcLimit parameterizes the int-indexing overflow guard the
+// same way StreamCSR's checkArcCount limit is parameterized: tests
+// inject a small limit to exercise the 2³¹ boundary on 64-bit builds.
+var parallelArcLimit = maxIntArcs
+
+// parallelBuildRuns counts builds that took the parallel path —
+// white-box instrumentation for the auto-fallback tests, which assert
+// small-n and single-core builds never get here.
+var parallelBuildRuns atomic.Int64
+
+// BuildCSRParallel builds the same CSR as StreamCSR(n, ss.Stream()) —
+// byte-identical rowPtr and column arrays, identical error on invalid
+// streams — using up to `workers` cores over the stream's segments.
+//
+// workers ≤ 0 selects GOMAXPROCS and auto-falls back to the sequential
+// build when that is 1 or n < parallelBuildMinN, so small instances
+// pay zero goroutine overhead; an explicit workers > 1 forces the
+// segmented machinery (the equivalence tests and single-CPU benchmark
+// containers rely on that). Streams that cannot split (a single
+// segment) and vertex counts beyond int32 (the histogram index type)
+// also use the sequential path.
+func BuildCSRParallel(n int, ss SegmentedStream, workers int) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative vertex count %d", ErrVertexRange, n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if n < parallelBuildMinN {
+			workers = 1
+		}
+	}
+	if workers == 1 || int64(n) > int64(math.MaxInt32) {
+		return StreamCSR(n, ss.Stream())
+	}
+	segs := ss.Segments(workers)
+	if len(segs) <= 1 {
+		return StreamCSR(n, ss.Stream())
+	}
+	parallelBuildRuns.Add(1)
+	k := len(segs)
+
+	// Counting pass: every segment counts its degrees into a private
+	// histogram. Errors record per segment; the lowest-indexed failing
+	// segment holds the stream's first bad edge.
+	counts := make([][]int32, k)
+	segArcs := make([]int64, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for s := range segs {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			hist := make([]int32, n)
+			var segErr error
+			arcs := int64(0)
+			segs[s](func(u, v int) {
+				if segErr != nil {
+					return
+				}
+				if u < 0 || u >= n || v < 0 || v >= n {
+					segErr = fmt.Errorf("%w: edge {%d,%d} in graph on %d vertices", ErrVertexRange, u, v, n)
+					return
+				}
+				if u == v {
+					segErr = fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, v)
+					return
+				}
+				hist[u]++
+				hist[v]++
+				arcs += 2
+			})
+			counts[s], segArcs[s], errs[s] = hist, arcs, segErr
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < k; s++ {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+	}
+	arcs := int64(0)
+	for s := 0; s < k; s++ {
+		arcs += segArcs[s]
+	}
+	if err := checkArcCount(arcs, parallelArcLimit); err != nil {
+		return nil, err
+	}
+
+	// Offset pass: per vertex, the exclusive prefix sum across segments
+	// turns each histogram entry into the segment's write offset within
+	// the row, and the per-vertex total feeds the row-pointer prefix
+	// sum. The across-segments scan is range-parallel; the across-
+	// vertices scan stays sequential (n dependent additions).
+	rowPtr := make([]int64, n+1)
+	forRanges(n, workers, &wg, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var run int32
+			for s := 0; s < k; s++ {
+				c := counts[s][v]
+				counts[s][v] = run
+				run += c
+			}
+			rowPtr[v+1] = int64(run)
+		}
+	})
+	for v := 0; v < n; v++ {
+		rowPtr[v+1] += rowPtr[v]
+	}
+
+	// Fill pass: each segment replays into its own write windows. The
+	// divergence guards mirror the sequential best-effort contract: a
+	// cursor escaping its row, an edge the counting pass never saw, or
+	// a per-segment arc-count change all surface ErrStreamDiverged.
+	col := make([]int, arcs)
+	for s := range segs {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			off := counts[s]
+			var segErr error
+			filled := int64(0)
+			segs[s](func(u, v int) {
+				if segErr != nil {
+					return
+				}
+				if u < 0 || u >= n || v < 0 || v >= n || u == v {
+					segErr = ErrStreamDiverged
+					return
+				}
+				iu := rowPtr[u] + int64(off[u])
+				iv := rowPtr[v] + int64(off[v])
+				if iu >= rowPtr[u+1] || iv >= rowPtr[v+1] {
+					segErr = ErrStreamDiverged
+					return
+				}
+				col[iu] = v
+				off[u]++
+				col[iv] = u
+				off[v]++
+				filled += 2
+			})
+			if segErr == nil && filled != segArcs[s] {
+				segErr = fmt.Errorf("%w: counted %d arcs, filled %d", ErrStreamDiverged, segArcs[s], filled)
+			}
+			errs[s] = segErr
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < k; s++ {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+	}
+
+	// Row normalization, range-parallel: identical bytes in, identical
+	// bytes out — each row is sorted iff the sequential build would
+	// have sorted it, and the first duplicate of the lowest range is
+	// the first duplicate of the whole sweep.
+	c := &CSR{n: n, rowPtr: rowPtr, col: col}
+	rangeErrs := make([]error, workers)
+	forRangesIndexed(n, workers, &wg, func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			row := c.Row(v)
+			if !sort.IntsAreSorted(row) {
+				sort.Ints(row)
+			}
+			for i := 1; i < len(row); i++ {
+				if row[i] == row[i-1] {
+					rangeErrs[w] = fmt.Errorf("%w: {%d,%d}", ErrParallelEdge, v, row[i])
+					return
+				}
+			}
+		}
+	})
+	for w := 0; w < workers; w++ {
+		if rangeErrs[w] != nil {
+			return nil, rangeErrs[w]
+		}
+	}
+	return c, nil
+}
+
+// EqualBytes reports whether two CSRs are byte-identical: same vertex
+// count, same row offsets, same column array. Stronger than
+// Fingerprint equality (no hashing involved); the parallel-build
+// equivalence tests and the graph_build benchmark rows assert it.
+func (c *CSR) EqualBytes(o *CSR) bool {
+	if c.n != o.n || len(c.rowPtr) != len(o.rowPtr) || len(c.col) != len(o.col) {
+		return false
+	}
+	for i := range c.rowPtr {
+		if c.rowPtr[i] != o.rowPtr[i] {
+			return false
+		}
+	}
+	for i := range c.col {
+		if c.col[i] != o.col[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// forRanges runs fn over `workers` contiguous near-equal vertex ranges
+// concurrently and waits for all of them.
+func forRanges(n, workers int, wg *sync.WaitGroup, fn func(lo, hi int)) {
+	forRangesIndexed(n, workers, wg, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// forRangesIndexed is forRanges with the range index passed through,
+// for callers that keep per-range results.
+func forRangesIndexed(n, workers int, wg *sync.WaitGroup, fn func(w, lo, hi int)) {
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

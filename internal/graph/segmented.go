@@ -1,0 +1,248 @@
+package graph
+
+// Range-keyed segmented edge streams: the contract that lets
+// BuildCSRParallel (parallelbuild.go) count and fill disjoint pieces
+// of one replayable edge sequence on separate cores while producing
+// the exact bytes of the sequential StreamCSR build.
+//
+// A SegmentedStream is an EdgeStream that can split itself into
+// ordered replayable segments. The one rule that makes the whole
+// parallel substrate deterministic: the segment *boundaries and
+// contents* must be a pure function of the generator's own parameters
+// — never of the requested segment count, GOMAXPROCS, or any runtime
+// state — so that concatenating Segments(w) reproduces Stream()'s
+// exact edge sequence for every w. Generators achieve this by fixing a
+// chunk grid up front (segmentChunks row blocks, each with its own
+// splitmix64-derived seed) and letting Segments(w) merely group
+// consecutive chunks; the grouping changes which goroutine replays a
+// chunk, not what the chunk emits.
+//
+// RingSegmented is seekable exactly: any vertex range replays its part
+// of the cycle with no RNG at all. GNPSegmented re-keys each row chunk
+// with its own derived seed, so a chunk is replayable in isolation —
+// its sequential form (Stream, equal to StreamedGNPSegmented's input)
+// is the canonical scale workload of the parallel substrate. The
+// preferential-attachment PowerLawStream stays sequential by
+// construction: every arrival samples the global degree-weighted pool,
+// so no prefix of the stream is independent of the rest; wrap it in
+// SingleSegment and BuildCSRParallel degrades to the sequential build.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SegmentedStream is a replayable edge stream that can split itself
+// into ordered replayable segments for the parallel CSR build.
+type SegmentedStream interface {
+	// Stream returns the full sequential edge stream — the byte-identity
+	// reference of every parallel build.
+	Stream() EdgeStream
+	// Segments returns at least one and at most want ordered replayable
+	// segment streams whose concatenation emits exactly Stream()'s edge
+	// sequence. Implementations must derive segment contents
+	// independently of want (fixed chunk grids, grouped contiguously),
+	// so builds are identical at every worker count.
+	Segments(want int) []EdgeStream
+}
+
+// segmentChunks is the fixed chunk-grid resolution segmented
+// generators use: fine enough to balance up to 64 workers, coarse
+// enough that per-chunk reseeding stays negligible. The grid depends
+// only on n — never on the requested segment count — which is what
+// keeps seq/par byte-identity independent of GOMAXPROCS.
+const segmentChunks = 64
+
+// splitmix64 is the SplitMix64 output function — the same mixer the
+// sweep scheduler uses for cell seeds (internal/bench/scheduler.go),
+// reproduced here so per-chunk generator seeds follow the one seed-
+// derivation scheme of the repo.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chunkSeed derives the RNG seed of chunk c from the generator seed:
+// chunk streams must be replayable in isolation, so each chunk owns an
+// independent splitmix64-derived stream position.
+func chunkSeed(seed int64, c int) int64 {
+	x := splitmix64(uint64(seed))
+	x = splitmix64(x ^ uint64(c+1))
+	return int64(x)
+}
+
+// chunkBounds returns the fixed chunk grid over [0, n): chunks
+// contiguous row ranges of near-equal size (empty ranges when
+// n < chunks). Boundaries depend only on (n, chunks).
+func chunkBounds(n, chunks int) []int {
+	if chunks < 1 {
+		chunks = 1
+	}
+	b := make([]int, chunks+1)
+	for i := 1; i < chunks; i++ {
+		b[i] = n * i / chunks
+	}
+	b[chunks] = n
+	return b
+}
+
+// groupChunks groups k fixed chunks into at most want contiguous
+// segments, each segment replaying its chunks in order. want below 1
+// is treated as 1.
+func groupChunks(k, want int, chunk func(c int) EdgeStream) []EdgeStream {
+	if want < 1 {
+		want = 1
+	}
+	if want > k {
+		want = k
+	}
+	segs := make([]EdgeStream, want)
+	for s := 0; s < want; s++ {
+		lo, hi := k*s/want, k*(s+1)/want
+		segs[s] = func(emit func(u, v int)) {
+			for c := lo; c < hi; c++ {
+				chunk(c)(emit)
+			}
+		}
+	}
+	return segs
+}
+
+// singleSegment adapts any replayable EdgeStream to the
+// SegmentedStream contract as one indivisible segment.
+type singleSegment struct{ s EdgeStream }
+
+// SingleSegment wraps a stream that cannot split — the preferential-
+// attachment PowerLawStream, whose every arrival samples the global
+// degree-weighted pool and therefore admits no independent prefix —
+// so it can flow through BuildCSRParallel (which degrades to the
+// sequential StreamCSR build on a single segment).
+func SingleSegment(s EdgeStream) SegmentedStream { return singleSegment{s} }
+
+func (w singleSegment) Stream() EdgeStream             { return w.s }
+func (w singleSegment) Segments(want int) []EdgeStream { return []EdgeStream{w.s} }
+
+// ringSegmented is the exactly-seekable segmented n-cycle.
+type ringSegmented struct{ n int }
+
+// RingSegmented returns the n-cycle (n ≥ 3) as a segmented stream:
+// the ring is seekable exactly — vertex range [lo, hi) emits its edges
+// (v, v+1 mod n) with no RNG and no state — so any partition of the
+// vertex range concatenates to RingStream(n)'s exact sequence.
+func RingSegmented(n int) SegmentedStream {
+	if n < 3 {
+		panic("graph: RingSegmented needs n ≥ 3")
+	}
+	return ringSegmented{n: n}
+}
+
+func (r ringSegmented) Stream() EdgeStream { return RingStream(r.n) }
+
+func (r ringSegmented) Segments(want int) []EdgeStream {
+	b := chunkBounds(r.n, segmentChunks)
+	return groupChunks(segmentChunks, want, func(c int) EdgeStream {
+		lo, hi := b[c], b[c+1]
+		return func(emit func(u, v int)) {
+			for v := lo; v < hi; v++ {
+				emit(v, (v+1)%r.n)
+			}
+		}
+	})
+}
+
+// gnpSegmented is the chunk-reseeded segmented G(n, p).
+type gnpSegmented struct {
+	n    int
+	p    float64
+	seed int64
+}
+
+// GNPSegmented returns a range-keyed Erdős–Rényi G(n, p) family drawn
+// deterministically from seed: the strictly-upper-triangular pair
+// space is cut into segmentChunks fixed row chunks, each skip-sampled
+// under its own splitmix64-derived seed (chunkSeed), so every chunk is
+// replayable in isolation and the emitted sequence is identical
+// whether the chunks run back to back on one core (Stream) or grouped
+// across W workers (Segments) — for every W. It is a different (and
+// equally valid) member of the G(n, p) distribution than GNPStream,
+// which threads one RNG through all rows and therefore cannot split;
+// the segmented family is the canonical workload of the parallel
+// substrate's scale tier.
+func GNPSegmented(n int, p float64, seed int64) SegmentedStream {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: GNPSegmented probability %v out of [0,1]", p))
+	}
+	return gnpSegmented{n: n, p: p, seed: seed}
+}
+
+// chunk returns the skip-sampled stream of rows [lo, hi): the same
+// geometric-skip walk as GNPStream, entered at row lo and exited when
+// the walk leaves row hi-1.
+func (g gnpSegmented) chunk(c int, b []int) EdgeStream {
+	lo, hi := b[c], b[c+1]
+	seed := chunkSeed(g.seed, c)
+	n, p := g.n, g.p
+	return func(emit func(u, v int)) {
+		if p == 0 || n < 2 || lo >= hi {
+			return
+		}
+		if p == 1 {
+			for u := lo; u < hi; u++ {
+				for v := u + 1; v < n; v++ {
+					emit(u, v)
+				}
+			}
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		logq := math.Log1p(-p)
+		u, v := lo, lo // v ≤ u means "before the first pair of row u"
+		for {
+			r := rng.Float64()
+			if r == 0 { // log(0) would skip to infinity, i.e. no more edges
+				return
+			}
+			skip := 1 + int(math.Floor(math.Log(r)/logq))
+			if skip < 1 { // guard rounding at p → 1
+				skip = 1
+			}
+			v += skip
+			for v >= n {
+				u++
+				if u >= hi || u >= n-1 {
+					return
+				}
+				v = u + 1 + (v - n)
+			}
+			emit(u, v)
+		}
+	}
+}
+
+func (g gnpSegmented) Stream() EdgeStream {
+	b := chunkBounds(g.n, segmentChunks)
+	return func(emit func(u, v int)) {
+		for c := 0; c < segmentChunks; c++ {
+			g.chunk(c, b)(emit)
+		}
+	}
+}
+
+func (g gnpSegmented) Segments(want int) []EdgeStream {
+	b := chunkBounds(g.n, segmentChunks)
+	return groupChunks(segmentChunks, want, func(c int) EdgeStream { return g.chunk(c, b) })
+}
+
+// StreamedGNPSegmented builds the range-keyed G(n, p) sequentially in
+// CSR form — the byte-identity reference BuildCSRParallel must match
+// at every worker count.
+func StreamedGNPSegmented(n int, p float64, seed int64) *CSR {
+	c, err := StreamCSR(n, GNPSegmented(n, p, seed).Stream())
+	if err != nil {
+		panic(err) // unreachable: per-chunk skip sampling emits each pair at most once
+	}
+	return c
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"testing"
+)
+
+// collectEdges replays a stream into an explicit edge list.
+func collectEdges(s EdgeStream) [][2]int {
+	var out [][2]int
+	s(func(u, v int) { out = append(out, [2]int{u, v}) })
+	return out
+}
+
+// concatSegments replays every segment in order into one edge list.
+func concatSegments(segs []EdgeStream) [][2]int {
+	var out [][2]int
+	for _, s := range segs {
+		s(func(u, v int) { out = append(out, [2]int{u, v}) })
+	}
+	return out
+}
+
+func edgeListsEqual(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The one rule of the SegmentedStream contract: concatenating
+// Segments(w) reproduces Stream()'s exact edge sequence for every w —
+// including w above the chunk-grid resolution and w = 1.
+func TestSegmentedConcatenationInvariance(t *testing.T) {
+	cases := []struct {
+		name string
+		ss   SegmentedStream
+	}{
+		{"ring/67", RingSegmented(67)},
+		{"ring/4096", RingSegmented(4096)},
+		{"gnp/500", GNPSegmented(500, 0.02, 11)},
+		{"gnp/sparse", GNPSegmented(5000, 3.0/5000, 7)},
+		{"gnp/p0", GNPSegmented(300, 0, 1)},
+		{"gnp/p1", GNPSegmented(40, 1, 1)},
+		{"gnp/tiny", GNPSegmented(3, 0.5, 9)}, // n < segmentChunks: empty chunks
+		{"single", SingleSegment(PowerLawStream(200, 3, 5))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := collectEdges(tc.ss.Stream())
+			for _, w := range []int{1, 2, 3, 5, 7, 64, 100} {
+				segs := tc.ss.Segments(w)
+				if len(segs) < 1 || len(segs) > w {
+					t.Fatalf("Segments(%d) returned %d segments", w, len(segs))
+				}
+				if got := concatSegments(segs); !edgeListsEqual(got, want) {
+					t.Fatalf("Segments(%d) concatenation diverges from Stream(): %d vs %d edges",
+						w, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// The ring is exactly seekable: its segmented Stream() is the plain
+// RingStream sequence, so the segmented build is byte-identical to
+// StreamedRing.
+func TestRingSegmentedMatchesRingStream(t *testing.T) {
+	n := 1000
+	if got, want := collectEdges(RingSegmented(n).Stream()), collectEdges(RingStream(n)); !edgeListsEqual(got, want) {
+		t.Fatalf("RingSegmented.Stream() diverges from RingStream")
+	}
+	seq := StreamedRing(n)
+	par, err := BuildCSRParallel(n, RingSegmented(n), 4)
+	if err != nil {
+		t.Fatalf("BuildCSRParallel: %v", err)
+	}
+	if !par.EqualBytes(seq) {
+		t.Fatal("parallel segmented ring build is not byte-identical to StreamedRing")
+	}
+}
+
+// SingleSegment never splits, whatever the caller asks for.
+func TestSingleSegmentIsIndivisible(t *testing.T) {
+	ss := SingleSegment(RingStream(10))
+	for _, w := range []int{0, 1, 5, 100} {
+		if got := len(ss.Segments(w)); got != 1 {
+			t.Fatalf("SingleSegment.Segments(%d) = %d segments, want 1", w, got)
+		}
+	}
+}
+
+// GNPSegmented must stay a plausible G(n, p) member: edge count within
+// a loose band of the expectation, rows valid CSR (sorted, dedup'd,
+// symmetric — Validate checks all of it).
+func TestGNPSegmentedDensityAndValidity(t *testing.T) {
+	n, p := 20000, 0.001
+	c := StreamedGNPSegmented(n, p, 42)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := p * float64(n) * float64(n-1) / 2
+	m := float64(c.M())
+	if m < 0.9*want || m > 1.1*want {
+		t.Fatalf("m = %.0f, want within 10%% of %.0f", m, want)
+	}
+	// Different seeds give different graphs.
+	if c2 := StreamedGNPSegmented(n, p, 43); c2.Fingerprint() == c.Fingerprint() {
+		t.Fatal("seeds 42 and 43 produced identical graphs")
+	}
+	// Same seed reproduces exactly.
+	if c3 := StreamedGNPSegmented(n, p, 42); !c3.EqualBytes(c) {
+		t.Fatal("same seed did not reproduce the identical CSR")
+	}
+}
+
+// Per-chunk seeds must differ from each other and from the raw seed —
+// identical chunk streams would correlate rows across the grid.
+func TestChunkSeedsAreDistinct(t *testing.T) {
+	seen := map[int64]bool{1: true}
+	for c := 0; c < segmentChunks; c++ {
+		s := chunkSeed(1, c)
+		if seen[s] {
+			t.Fatalf("chunk %d reuses seed %d", c, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestChunkBoundsCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 63, 64, 65, 1000} {
+		b := chunkBounds(n, segmentChunks)
+		if b[0] != 0 || b[segmentChunks] != n {
+			t.Fatalf("n=%d: bounds [%d, %d], want [0, %d]", n, b[0], b[segmentChunks], n)
+		}
+		for i := 0; i < segmentChunks; i++ {
+			if b[i] > b[i+1] {
+				t.Fatalf("n=%d: bounds not monotone at %d", n, i)
+			}
+		}
+	}
+}

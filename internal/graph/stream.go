@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // RingStream returns the edge stream of the n-cycle (n ≥ 3).
@@ -95,15 +96,34 @@ func StreamedGNP(n int, p float64, seed int64) *CSR {
 	return c
 }
 
+// powerLawScratch is the reusable working memory of one
+// PowerLawStream replay: the degree-weighted sampling pool (4 bytes
+// per attachment endpoint, int32 entries) and the per-arrival chosen
+// set. Pooled across replays — the pool is by far the dominant build
+// allocation (≈ 8·k·n bytes per replay, and StreamCSR replays twice) —
+// the same lifecycle pattern as palette.SelectScratch's arena;
+// TestPowerLawStreamScratchReuse guards the allocation bound.
+type powerLawScratch struct {
+	targets []int32
+	chosen  []int32
+}
+
+var powerLawScratchPool = sync.Pool{New: func() any { return new(powerLawScratch) }}
+
 // PowerLawStream returns the edge stream of a preferential-attachment
 // (Barabási–Albert style) graph on n vertices drawn deterministically
 // from seed: after a seed clique on k+1 vertices, each arriving vertex
 // attaches to k distinct existing vertices chosen proportionally to
 // degree with 5% uniform smoothing — the same skewed-degree family as
-// PowerLaw, in streaming form. The degree-weighted sampling pool is
-// the only working memory (4 bytes per attachment endpoint, int32
-// entries), allocated inside the stream so each replay is independent;
-// n must stay below 2³¹.
+// PowerLaw, in streaming form. Each replay rebuilds its state from a
+// pooled scratch (reset, never reread), so replays stay independent
+// while steady-state builds stop reallocating the sampling pool; n
+// must stay below 2³¹ (int32 pool entries).
+//
+// The stream is sequential by construction: every arrival samples the
+// global degree-weighted pool, so no prefix is independent of the
+// rest — there is no segmented form (wrap in SingleSegment for
+// BuildCSRParallel, which then takes the sequential build path).
 func PowerLawStream(n, k int, seed int64) EdgeStream {
 	if k < 1 || n < k+1 {
 		panic(fmt.Sprintf("graph: PowerLawStream(%d,%d) infeasible", n, k))
@@ -113,14 +133,22 @@ func PowerLawStream(n, k int, seed int64) EdgeStream {
 	}
 	return func(emit func(u, v int)) {
 		rng := rand.New(rand.NewSource(seed))
-		targets := make([]int32, 0, 2*(n-k-1)*k+k*(k+1))
+		sc := powerLawScratchPool.Get().(*powerLawScratch)
+		defer powerLawScratchPool.Put(sc)
+		if need := 2*(n-k-1)*k + k*(k+1); cap(sc.targets) < need {
+			sc.targets = make([]int32, 0, need)
+		}
+		if cap(sc.chosen) < k {
+			sc.chosen = make([]int32, 0, k)
+		}
+		targets := sc.targets[:0]
 		for u := 0; u <= k; u++ {
 			for v := u + 1; v <= k; v++ {
 				emit(u, v)
 				targets = append(targets, int32(u), int32(v))
 			}
 		}
-		chosen := make([]int32, 0, k)
+		chosen := sc.chosen[:0]
 		for v := k + 1; v < n; v++ {
 			chosen = chosen[:0]
 			for len(chosen) < k {

@@ -45,7 +45,12 @@ func Analyze(g *graph.Graph, inst *coloring.Instance, colors []int) (Report, err
 	classes := make(map[int]int)
 	var defects, utils []float64
 	r := Report{Space: inst.Space}
-	mono := graph.MonochromaticDegree(g, colors)
+	// Realized per-node conflict counts come from the shared defect-
+	// audit kernel (auto worker count — one whole-graph scan instead of
+	// a second adjacency walk); the audit fills mono even for off-list
+	// nodes, so the error paths below stay intact.
+	mono := make([]int, g.N())
+	coloring.AuditInto(g, inst, colors, mono, 0)
 	for v := 0; v < g.N(); v++ {
 		classes[colors[v]]++
 		allowed, ok := inst.DefectOf(v, colors[v])

@@ -641,33 +641,17 @@ func (s *Service) checkConstraints(list, defects []int) ([]int, []int, error) {
 // against the current coloring — the between-batches validity check
 // the soak tests call. It takes the writer lock; not for hot paths.
 func (s *Service) ValidateState() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return validateColors(s.ov, s.inst, s.colors)
+	return s.AuditState(0).Err()
 }
 
-// validateColors is a ValidateListDefective equivalent over any
-// repair.Topology, avoiding the O(n) adjacency-list materialization
-// of Overlay.Graph on million-node substrates.
-func validateColors(topo repair.Topology, inst *coloring.Instance, colors []int) error {
-	n := topo.N()
-	if inst.N() != n || len(colors) != n {
-		return fmt.Errorf("service: %d nodes, %d constraints, %d colors", n, inst.N(), len(colors))
-	}
-	for v := 0; v < n; v++ {
-		allowed, ok := inst.DefectOf(v, colors[v])
-		if !ok {
-			return fmt.Errorf("service: node %d colored %d outside its list", v, colors[v])
-		}
-		conf := 0
-		for _, u := range topo.Neighbors(v) {
-			if colors[u] == colors[v] {
-				conf++
-			}
-		}
-		if conf > allowed {
-			return fmt.Errorf("service: node %d has %d conflicts, budget %d", v, conf, allowed)
-		}
-	}
-	return nil
+// AuditState runs the whole-graph validity/defect scan through the
+// shared coloring.AuditInto kernel and returns the full report —
+// conflict mass, absorbed defects, tight nodes — not just the first
+// violation. workers ≤ 0 auto-selects (GOMAXPROCS with the small-n
+// sequential fallback); the report is identical at every worker count.
+// It takes the writer lock; not for hot paths.
+func (s *Service) AuditState(workers int) coloring.AuditReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return coloring.AuditInto(s.ov, s.inst, s.colors, nil, workers)
 }

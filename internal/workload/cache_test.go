@@ -153,3 +153,47 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Errorf("hits = %d, want %d", got.Hits, workers*len(keys)-len(keys))
 	}
 }
+
+// Worker-independence of cached builds: the graph a key resolves to
+// must be identical (by fingerprint) no matter how many goroutines
+// race the cache and no matter which one wins the generation — the
+// property that keeps the parallel sweep scheduler's results, and any
+// parallel substrate underneath it, independent of GOMAXPROCS.
+func TestCacheBuildsAreWorkerIndependent(t *testing.T) {
+	keys := []Key{
+		{Family: "gnp", Params: Params{N: 200, Prob: 0.05, Seed: 5}},
+		{Family: "regular", Params: Params{N: 128, Degree: 4, Seed: 9}},
+		{Family: "ring", Params: Params{N: 97}},
+	}
+	want := make([]uint64, len(keys))
+	for i, k := range keys {
+		g, err := Build(k.Family, k.Params)
+		if err != nil {
+			t.Fatalf("direct Build(%s): %v", k.Family, err)
+		}
+		g.Normalize()
+		want[i] = g.Fingerprint()
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		c := NewCache() // fresh cache per worker count: every race replays
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i, k := range keys {
+					g, err := c.Build(k.Family, k.Params)
+					if err != nil {
+						t.Errorf("cached Build(%s): %v", k.Family, err)
+						return
+					}
+					if fp := g.Fingerprint(); fp != want[i] {
+						t.Errorf("workers=%d: %s fingerprint %x, want %x", workers, k.Family, fp, want[i])
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
