@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-scale bench bench-sim bench-graph bench-local bench-harness bench-service bench-service-shards race-service race-substrate fuzz tables cover conform conformance clean
+.PHONY: all build vet test race test-scale bench bench-sim bench-graph bench-local bench-harness bench-service bench-service-shards race-service race-substrate race-durable chaos fuzz tables cover conform conformance clean
 
 all: build vet test
 
@@ -62,6 +62,19 @@ race-service:
 	$(GO) test -race -count 2 -run 'Concurrent' ./internal/service
 	$(GO) test -race -run 'TestShardSweep' ./internal/service
 
+# Durability under the race detector: the kill-point recovery
+# differential plus the backpressure soak, both doubled (the CI race
+# job runs the same pair).
+race-durable:
+	$(GO) test -race -count 2 -run 'TestRecovery|TestConcurrentBackpressureSoak' ./internal/service
+
+# Full crash/corruption kill-point matrix at the fixed CI seed: 200
+# seed-derived kills (batch boundaries, mid-record tears, flipped
+# bytes, truncated tails), each recovered and differenced against the
+# uninterrupted reference run. Exits nonzero on any divergence.
+chaos:
+	$(GO) run ./cmd/colord -chaos 200 -seed 1
+
 # Parallel substrate equivalence under the race detector: segmented
 # builds byte-identical to sequential, audit reports identical at
 # every worker count, and the snapshot-audit soak under churn.
@@ -79,6 +92,7 @@ fuzz:
 	$(GO) test -fuzz FuzzCorruptedPayloadDecode -fuzztime 15s ./internal/sim
 	$(GO) test -fuzz FuzzStreamingCSRBuild -fuzztime 15s ./internal/graph
 	$(GO) test -fuzz FuzzParallelCSRBuild -fuzztime 15s ./internal/graph
+	$(GO) test -fuzz FuzzWALRecordDecode -fuzztime 15s ./internal/service
 
 # Conformance matrix: CLI summary / heavy go-test tier (docs/TESTING.md).
 conform:

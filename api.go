@@ -561,6 +561,112 @@ func NewServiceHandler(s *ColorService) http.Handler { return service.NewHandler
 func NewCSRFromGraph(g *Graph) *CSRGraph { return graph.CSRFromGraph(g) }
 
 // ---------------------------------------------------------------------------
+// Durability and overload resilience.
+
+// DurableColorService wraps a ColorService in the crash-safety layer:
+// every batch is appended to a checksummed write-ahead log before it
+// applies, periodic checkpoints bound replay, and reopening a data dir
+// recovers the exact pre-crash state (torn or corrupted WAL tails are
+// detected by CRC and discarded cleanly). Reads still go through the
+// wrapped service's lock-free snapshots.
+type DurableColorService = service.Durable
+
+// DurableServiceOptions configures the durability layer: data dir,
+// WAL sync mode, checkpoint cadence, segment size.
+type DurableServiceOptions = service.DurableOptions
+
+// ServiceRecoveryInfo is the account of one recovery: checkpoint
+// version, replayed batches/ops, and the discarded torn tail (if any).
+type ServiceRecoveryInfo = service.RecoveryInfo
+
+// ServiceDurabilityStats is the durability section of /v1/stats.
+type ServiceDurabilityStats = service.DurabilityStats
+
+// WALSyncMode selects the WAL durability/throughput trade:
+// WALSyncOff buffers (data loss bounded by a segment rotation),
+// WALSyncBatch write-through per batch (survives process crashes, the
+// default in colord), WALSyncAlways fsyncs every record (survives
+// power loss).
+type WALSyncMode = service.SyncMode
+
+const (
+	WALSyncOff    = service.SyncOff
+	WALSyncBatch  = service.SyncBatch
+	WALSyncAlways = service.SyncAlways
+)
+
+// ParseWALSyncMode parses "off" | "batch" | "always" (colord's
+// -wal-sync flag values).
+func ParseWALSyncMode(s string) (WALSyncMode, error) { return service.ParseSyncMode(s) }
+
+// NewDurableColorService wraps an already-constructed service in a
+// fresh data dir, checkpointing the current state immediately. A dir
+// that already holds a checkpoint is refused — use
+// OpenDurableColorService.
+func NewDurableColorService(s *ColorService, dopts DurableServiceOptions) (*DurableColorService, error) {
+	return service.NewDurable(s, dopts)
+}
+
+// OpenDurableColorService recovers a durable service from its data
+// dir: load the checkpoint, replay the WAL tail, discard torn
+// records. A dir without a checkpoint returns os.ErrNotExist.
+func OpenDurableColorService(opts ServiceOptions, dopts DurableServiceOptions) (*DurableColorService, *ServiceRecoveryInfo, error) {
+	return service.OpenDurable(opts, dopts)
+}
+
+// ServiceIngest is the bounded admission queue in front of the single
+// writer: Submit fails fast with service.ErrQueueFull when the queue
+// is at capacity (the HTTP surface maps that to 503 + Retry-After),
+// and requests whose context expires while queued are skipped at
+// dequeue.
+type ServiceIngest = service.Ingest
+
+// NewServiceIngest starts an admission queue of the given capacity
+// (≤ 0 means 64) over the given apply function — typically
+// (*ColorService).ApplyBatch or (*DurableColorService).ApplyBatch.
+func NewServiceIngest(apply func([]ServiceOp) (ServiceBatchReport, error), capacity int) *ServiceIngest {
+	return service.NewIngest(apply, capacity)
+}
+
+// ServiceHealth is the recovering → ready → draining state machine
+// behind GET /readyz; writes are refused with 503 while not ready.
+type ServiceHealth = service.Health
+
+// ServiceHandlerOptions wires the durability and overload layers into
+// the HTTP surface (admission queue, health gate, body cap, request
+// deadline, durability stats).
+type ServiceHandlerOptions = service.HandlerOptions
+
+// NewServiceHandlerWithOptions returns the hardened HTTP surface:
+// POST /v1/updates through the admission queue with a body cap and
+// per-request deadline, GET /healthz (liveness), GET /readyz
+// (readiness), and /v1/stats with durability and ingest sections.
+func NewServiceHandlerWithOptions(s *ColorService, opts ServiceHandlerOptions) http.Handler {
+	return service.NewHandlerWithOptions(s, opts)
+}
+
+// ServiceChaosConfig parameterizes the crash/corruption kill-point
+// matrix (colord -chaos): instance shape, script length, number of
+// seed-derived kill points, checkpoint cadence.
+type ServiceChaosConfig = service.ChaosConfig
+
+// ServiceChaosReport is the matrix verdict: points run, per-damage-mode
+// counts, discarded tails, replayed batches, failures.
+type ServiceChaosReport = service.ChaosReport
+
+// RunServiceChaos executes the kill-point matrix: for every
+// seed-derived point the durable service is killed (at a batch
+// boundary, mid-record, or with post-crash byte flips / truncation),
+// recovered, and differenced against an uninterrupted reference run —
+// recovered colors, canonical stats and topology fingerprint must be
+// identical at the recovered version, the audit must be clean, and the
+// recovered service must reach the same final state. A non-nil error
+// reports the first divergence.
+func RunServiceChaos(cfg ServiceChaosConfig) (ServiceChaosReport, error) {
+	return service.RunChaos(cfg)
+}
+
+// ---------------------------------------------------------------------------
 // Baselines.
 
 // GreedyList is the sequential greedy list coloring baseline.

@@ -2,6 +2,7 @@ package listcolor
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -299,5 +300,69 @@ func TestPublicQualityReport(t *testing.T) {
 	}
 	if rep.Format() == "" {
 		t.Error("empty report format")
+	}
+}
+
+func TestPublicDurableService(t *testing.T) {
+	dir := t.TempDir()
+	base := NewStreamedRing(64)
+	inst := NewInstance(64, 6)
+	full := []int{0, 1, 2, 3, 4, 5}
+	zeros := make([]int, 6)
+	for v := 0; v < 64; v++ {
+		inst.Lists[v] = full
+		inst.Defects[v] = zeros
+	}
+	svc, err := NewColorService(base, inst, nil, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, err := ParseWALSyncMode("batch")
+	if err != nil || mode != WALSyncBatch {
+		t.Fatalf("ParseWALSyncMode = %v, %v", mode, err)
+	}
+	d, err := NewDurableColorService(svc, DurableServiceOptions{Dir: dir, Sync: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewServiceIngest(d.ApplyBatch, 8)
+	h := &ServiceHealth{}
+	h.SetReady()
+	handler := NewServiceHandlerWithOptions(svc, ServiceHandlerOptions{Ingest: in, Health: h, Durable: d})
+	if handler == nil {
+		t.Fatal("nil handler")
+	}
+	if _, err := in.Submit(context.Background(), []ServiceOp{{Action: OpAddEdge, U: 3, V: 30}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, info, err := OpenDurableColorService(ServiceOptions{}, DurableServiceOptions{Dir: dir, Sync: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if info.Version != 1 || info.ReplayedBatches != 0 {
+		t.Fatalf("recovery info: %+v", info)
+	}
+	if !d2.Service().HasEdge(3, 30) {
+		t.Fatal("recovered state lost the applied edge")
+	}
+	if err := d2.Service().ValidateState(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicServiceChaos(t *testing.T) {
+	rep, err := RunServiceChaos(ServiceChaosConfig{Seed: 2, Points: 4, Batches: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 || rep.Points != 4 {
+		t.Fatalf("chaos report: %+v", rep)
 	}
 }

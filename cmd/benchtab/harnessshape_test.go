@@ -121,4 +121,40 @@ func TestHarnessBenchShape(t *testing.T) {
 			}
 		}
 	}
+	// The durability section: one entry per WAL sync mode in canonical
+	// order, each with churn throughput through the durable write path
+	// and a timed kill-and-recover that must land identical to the
+	// reference replay. SyncOff may legitimately recover an empty
+	// prefix (the buffered tail is the price of the mode); batch and
+	// always must replay the full script.
+	modes := bench.DurabilitySyncModes()
+	if len(rep.Durability) != len(modes) {
+		t.Fatalf("durability section has %d entries, want %d", len(rep.Durability), len(modes))
+	}
+	for i, e := range rep.Durability {
+		if e.SyncMode != modes[i].String() {
+			t.Errorf("durability entry %d: sync_mode = %q, want %q", i, e.SyncMode, modes[i])
+		}
+		if e.Workload == "" || e.Nodes <= 0 || e.Updates <= 0 || e.Batches <= 0 || e.UpdatesPerSec <= 0 {
+			t.Errorf("durability entry %d: incomplete measurement %+v", i, e)
+		}
+		if e.WALBytes <= 0 {
+			t.Errorf("durability entry %d (%s): no WAL bytes written", i, e.SyncMode)
+		}
+		if !e.RecoveredIdentical {
+			t.Errorf("durability entry %d (%s): recovered state diverged from the reference replay", i, e.SyncMode)
+		}
+		if !e.Valid {
+			t.Errorf("durability entry %d (%s): recovered coloring failed the validity scan", i, e.SyncMode)
+		}
+		if e.SyncMode != "off" {
+			if e.ReplayedBatches != e.Batches || e.RecoveredVersion != uint64(e.Batches) {
+				t.Errorf("durability entry %d (%s): replayed %d of %d batches (version %d)",
+					i, e.SyncMode, e.ReplayedBatches, e.Batches, e.RecoveredVersion)
+			}
+			if e.ReplayedOps <= 0 || e.RecoveryMsPer100KOps <= 0 {
+				t.Errorf("durability entry %d (%s): implausible recovery account %+v", i, e.SyncMode, e)
+			}
+		}
+	}
 }

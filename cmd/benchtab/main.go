@@ -169,6 +169,10 @@ func runHarnessBench(out io.Writer, quick bool, seed int64) error {
 	if err != nil {
 		return err
 	}
+	durab, err := bench.RunDurabilityBench(quick)
+	if err != nil {
+		return err
+	}
 	rep := bench.HarnessBenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Note: "Sweep-scheduler throughput: one full bench.All per worker budget (best of 3). " +
@@ -185,6 +189,11 @@ func runHarnessBench(out io.Writer, quick bool, seed int64) error {
 			"deterministic work-distribution account. speedup_vs_seq is bounded by the host's core " +
 			"count — on a single-CPU container it hovers near 1 and the distribution columns carry " +
 			"the signal. " +
+			"durability = the crash-safety layer priced per WAL sync mode (off / batch / always): the same " +
+			"churn script through the durable write path, then a simulated kill (no final checkpoint, no " +
+			"flush) and a timed recovery; recovery_ms_per_100k_ops is the replay-cost unit the checkpoint " +
+			"cadence is tuned against, and recovered_identical verifies the recovered colors equal a fresh " +
+			"reference replay of the recovered prefix. " +
 			"Refresh with `make bench-harness` (or `make bench-service` / `make bench-service-shards`, same file).",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -192,6 +201,7 @@ func runHarnessBench(out io.Writer, quick bool, seed int64) error {
 		Current:    cur,
 		Service:    svc,
 		ShardSweep: sweep,
+		Durability: durab,
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

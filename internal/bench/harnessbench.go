@@ -62,6 +62,11 @@ type HarnessBenchReport struct {
 	// and the per-shard work-distribution account. Refreshed by
 	// `make bench-service-shards`.
 	ShardSweep []ShardSweepEntry `json:"shard_sweep"`
+	// Durability holds the crash-safety measurements
+	// (durabilitybench.go): churn throughput with the WAL in the write
+	// path under each sync mode, and the timed kill-and-recover replay
+	// cost per 10^5 ops. Refreshed by `make bench-harness`.
+	Durability []DurabilityBenchEntry `json:"durability"`
 }
 
 // HarnessWorkerBudgets returns the worker budgets a harness-bench run

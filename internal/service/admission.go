@@ -1,0 +1,194 @@
+// admission.go is the overload valve in front of the single writer: a
+// bounded ingest queue that turns "too much traffic" into fast, typed
+// 503s instead of unbounded memory growth and collapse. The paper's
+// algorithms survive bounded damage; the service survives bounded
+// overload the same way — excess load is shed at the door with a
+// Retry-After, reads keep serving the last published snapshot, and a
+// graceful drain empties the queue before shutdown.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is the admission rejection: the bounded ingest queue is
+// at capacity. HTTP maps it to 503 + Retry-After.
+var ErrQueueFull = errors.New("service: ingest queue full")
+
+// ErrDraining rejects writes submitted after a graceful drain began.
+var ErrDraining = errors.New("service: draining")
+
+// Health is the liveness/readiness state machine surfaced at /readyz:
+// recovering (WAL replay in progress, reads degraded to the checkpoint
+// snapshot) → ready → draining (shutdown in progress).
+type Health struct {
+	state atomic.Int32
+}
+
+// Health states, in lifecycle order.
+const (
+	HealthRecovering int32 = iota
+	HealthReady
+	HealthDraining
+)
+
+func (h *Health) SetRecovering() { h.state.Store(HealthRecovering) }
+func (h *Health) SetReady()      { h.state.Store(HealthReady) }
+func (h *Health) SetDraining()   { h.state.Store(HealthDraining) }
+
+// State returns the current lifecycle state.
+func (h *Health) State() int32 { return h.state.Load() }
+
+// String renders the state for /readyz bodies and logs.
+func (h *Health) String() string {
+	switch h.state.Load() {
+	case HealthRecovering:
+		return "recovering"
+	case HealthDraining:
+		return "draining"
+	}
+	return "ready"
+}
+
+// IngestStats is the admission section of /v1/stats.
+type IngestStats struct {
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Accepted      int64 `json:"accepted"`
+	RejectedFull  int64 `json:"rejected_full"`
+	Expired       int64 `json:"expired"`
+	Draining      bool  `json:"draining"`
+}
+
+type ingestResult struct {
+	rep BatchReport
+	err error
+}
+
+type ingestItem struct {
+	ctx   context.Context
+	ops   []Op
+	reply chan ingestResult
+}
+
+// Ingest is the bounded admission queue: submissions either enter the
+// queue immediately or are rejected with ErrQueueFull — a full queue
+// never blocks the HTTP handler. One worker goroutine dequeues in
+// order and feeds the single writer, preserving the service's
+// sequential batch semantics exactly.
+type Ingest struct {
+	apply func([]Op) (BatchReport, error)
+	queue chan ingestItem
+
+	depth    atomic.Int64 // queued + in-flight items
+	accepted atomic.Int64
+	rejected atomic.Int64
+	expired  atomic.Int64
+	draining atomic.Bool
+
+	// mu fences Submit's channel send against Drain's close: senders
+	// hold it shared, the close holds it exclusively.
+	mu   sync.RWMutex
+	done chan struct{}
+}
+
+// NewIngest starts the admission queue in front of apply (usually
+// Durable.ApplyBatch or Service.ApplyBatch). capacity ≤ 0 means 64.
+func NewIngest(apply func([]Op) (BatchReport, error), capacity int) *Ingest {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	in := &Ingest{
+		apply: apply,
+		queue: make(chan ingestItem, capacity),
+		done:  make(chan struct{}),
+	}
+	go in.worker()
+	return in
+}
+
+func (in *Ingest) worker() {
+	defer close(in.done)
+	for item := range in.queue {
+		// A request whose deadline passed while it sat in the queue is
+		// skipped, not applied: the client has already given up, and
+		// applying it anyway would surprise a retry.
+		if item.ctx != nil && item.ctx.Err() != nil {
+			in.expired.Add(1)
+			item.reply <- ingestResult{err: item.ctx.Err()}
+			in.depth.Add(-1)
+			continue
+		}
+		rep, err := in.apply(item.ops)
+		item.reply <- ingestResult{rep: rep, err: err}
+		in.depth.Add(-1)
+	}
+}
+
+// Submit enqueues a batch and waits for its result. A full queue
+// fails fast with ErrQueueFull; after Drain begins, ErrDraining. The
+// context governs queue wait: expiry before dequeue returns ctx.Err()
+// without applying.
+func (in *Ingest) Submit(ctx context.Context, ops []Op) (BatchReport, error) {
+	item := ingestItem{ctx: ctx, ops: ops, reply: make(chan ingestResult, 1)}
+	in.mu.RLock()
+	if in.draining.Load() {
+		in.mu.RUnlock()
+		return BatchReport{}, ErrDraining
+	}
+	in.depth.Add(1)
+	select {
+	case in.queue <- item:
+		in.mu.RUnlock()
+	default:
+		in.mu.RUnlock()
+		in.depth.Add(-1)
+		in.rejected.Add(1)
+		return BatchReport{}, ErrQueueFull
+	}
+	in.accepted.Add(1)
+	// The worker always replies — even for expired items — so this
+	// wait is bounded by the queue ahead of us.
+	res := <-item.reply
+	return res.rep, res.err
+}
+
+// Saturated reports a full queue — the /readyz "shedding load" signal.
+func (in *Ingest) Saturated() bool {
+	return int(in.depth.Load()) >= cap(in.queue)
+}
+
+// Drain stops admission and waits until every already-accepted batch
+// has been applied (or ctx expires). After Drain the queue is closed;
+// further Submits fail with ErrDraining.
+func (in *Ingest) Drain(ctx context.Context) error {
+	in.mu.Lock()
+	if !in.draining.Swap(true) {
+		// The exclusive lock waits out every in-flight Submit send, so
+		// the close cannot race a send; the worker loop ends after the
+		// already-accepted items apply.
+		close(in.queue)
+	}
+	in.mu.Unlock()
+	select {
+	case <-in.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats returns the admission counters, lock-free.
+func (in *Ingest) Stats() IngestStats {
+	return IngestStats{
+		QueueDepth:    int(in.depth.Load()),
+		QueueCapacity: cap(in.queue),
+		Accepted:      in.accepted.Load(),
+		RejectedFull:  in.rejected.Load(),
+		Expired:       in.expired.Load(),
+		Draining:      in.draining.Load(),
+	}
+}

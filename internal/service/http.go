@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // UpdateRequest is the POST /v1/updates body.
@@ -37,28 +39,118 @@ type colorsResponse struct {
 	Version uint64 `json:"version"`
 }
 
-// NewHandler wires the service's HTTP surface:
+// HandlerOptions wires the durability and overload layers into the
+// HTTP surface. The zero value reproduces the plain handler: direct
+// ApplyBatch writes, default body limit, always-ready health.
+type HandlerOptions struct {
+	// Ingest, when set, routes POST /v1/updates through the bounded
+	// admission queue; a full queue answers 503 + Retry-After.
+	Ingest *Ingest
+	// Health, when set, gates /readyz and rejects writes with 503
+	// while recovering or draining.
+	Health *Health
+	// Durable, when set, contributes the durability section of
+	// /v1/stats.
+	Durable *Durable
+	// DurableStats lazily supplies the durability section when the
+	// Durable handle only exists after the handler (a server that
+	// starts serving reads mid-recovery). Durable wins when both are
+	// set; returning nil omits the section.
+	DurableStats func() *DurabilityStats
+	// MaxBody caps the POST /v1/updates body via http.MaxBytesReader;
+	// oversized bodies get 413. 0 means 8 MiB.
+	MaxBody int64
+	// RequestTimeout bounds each write's total time in the queue +
+	// apply; 0 means 30s.
+	RequestTimeout time.Duration
+}
+
+func (o HandlerOptions) maxBody() int64 {
+	if o.MaxBody > 0 {
+		return o.MaxBody
+	}
+	return 8 << 20
+}
+
+func (o HandlerOptions) requestTimeout() time.Duration {
+	if o.RequestTimeout > 0 {
+		return o.RequestTimeout
+	}
+	return 30 * time.Second
+}
+
+// statsEnvelope is the /v1/stats body: the service account plus the
+// durability and admission sections when those layers are wired.
+type statsEnvelope struct {
+	Stats
+	Durability *DurabilityStats `json:"durability,omitempty"`
+	Ingest     *IngestStats     `json:"ingest,omitempty"`
+}
+
+// NewHandler wires the plain service HTTP surface (no durability, no
+// admission queue) — the zero-options form of NewHandlerWithOptions.
+func NewHandler(s *Service) http.Handler {
+	return NewHandlerWithOptions(s, HandlerOptions{})
+}
+
+// NewHandlerWithOptions wires the service's HTTP surface:
 //
 //	POST /v1/updates        batched ops, single-writer apply
 //	GET  /v1/color/{node}   one color, lock-free snapshot read
 //	GET  /v1/colors?nodes=  many colors from one snapshot
 //	GET  /v1/colors         full dump, streamed in bounded chunks
 //	GET  /v1/stats          running maintenance account
+//	GET  /healthz           liveness (200 while the process serves)
+//	GET  /readyz            readiness (503 while recovering, draining,
+//	                        or shedding load)
 //
 // Reads never block on writes: they load the atomically-swapped
-// snapshot the last batch published.
-func NewHandler(s *Service) http.Handler {
+// snapshot the last batch published — including during WAL replay,
+// when they serve the restored checkpoint while /readyz says 503.
+func NewHandlerWithOptions(s *Service, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/updates", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, opts.maxBody())
 		var req UpdateRequest
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 			return
 		}
-		rep, err := s.ApplyBatch(req.Ops)
+		if h := opts.Health; h != nil && h.State() != HealthReady {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("writes unavailable: %s", h))
+			return
+		}
+		var rep BatchReport
+		var err error
+		if opts.Ingest != nil {
+			ctx, cancel := context.WithTimeout(r.Context(), opts.requestTimeout())
+			rep, err = opts.Ingest.Submit(ctx, req.Ops)
+			cancel()
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, err.Error())
+				return
+			case errors.Is(err, ErrDraining):
+				httpError(w, http.StatusServiceUnavailable, err.Error())
+				return
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+				httpError(w, http.StatusServiceUnavailable, "request deadline expired in queue")
+				return
+			}
+		} else {
+			rep, err = s.ApplyBatch(req.Ops)
+		}
 		resp := UpdateResponse{BatchReport: rep}
 		status := http.StatusOK
 		if err != nil {
@@ -111,7 +203,36 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
+		env := statsEnvelope{Stats: s.Stats()}
+		if opts.Durable != nil {
+			ds := opts.Durable.DurabilityStats()
+			env.Durability = &ds
+		} else if opts.DurableStats != nil {
+			env.Durability = opts.DurableStats()
+		}
+		if opts.Ingest != nil {
+			is := opts.Ingest.Stats()
+			env.Ingest = &is
+		}
+		writeJSON(w, http.StatusOK, env)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		state := "ready"
+		if opts.Health != nil {
+			state = opts.Health.String()
+		}
+		status := http.StatusOK
+		if state != "ready" {
+			status = http.StatusServiceUnavailable
+		} else if opts.Ingest != nil && opts.Ingest.Saturated() {
+			state, status = "saturated", http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]string{"status": state})
 	})
 
 	return mux

@@ -1,0 +1,373 @@
+// recovery_test.go is the crash-recovery differential: at every kill
+// point — each batch boundary and seed-drawn mid-record tears — the
+// state OpenDurable recovers must be byte-identical (colors, canonical
+// Stats, topology fingerprint) to an uninterrupted reference run at
+// the recovered version, audit clean, and then replay the rest of the
+// script to the same final state. This is the process-level analogue
+// of the paper's locality claim: damage is bounded, detected, and
+// repaired exactly.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"listcolor/internal/graph"
+)
+
+// refState is one version's observable state in the reference run.
+type refState struct {
+	colors []int
+	stats  Stats
+	fp     uint64
+}
+
+func captureRef(s *Service) refState {
+	snap := s.Snapshot()
+	return refState{
+		colors: append([]int(nil), snap.Colors...),
+		stats:  CanonicalStats(s.Stats()),
+		fp:     s.TopologyFingerprint(),
+	}
+}
+
+// referenceRun plays the whole script on a plain (non-durable)
+// service and records the observable state at every version.
+func referenceRun(t *testing.T, base *graph.CSR, script [][]Op, opts Options) []refState {
+	t.Helper()
+	s := mustService(t, base, slackInstance(base), opts)
+	refs := []refState{captureRef(s)} // version 0
+	for bi, ops := range script {
+		if _, err := s.ApplyBatch(ops); err != nil && !errors.Is(err, ErrOp) {
+			t.Fatalf("reference batch %d: %v", bi, err)
+		}
+		refs = append(refs, captureRef(s))
+	}
+	return refs
+}
+
+// diffAgainstRef asserts the recovered service matches the reference
+// run at its recovered version.
+func diffAgainstRef(t *testing.T, tag string, d *Durable, refs []refState) uint64 {
+	t.Helper()
+	s := d.Service()
+	v := s.Snapshot().Version
+	if v >= uint64(len(refs)) {
+		t.Fatalf("%s: recovered version %d beyond reference run", tag, v)
+	}
+	ref := refs[v]
+	if !reflect.DeepEqual(s.Snapshot().Colors, ref.colors) {
+		t.Fatalf("%s: colors diverge from reference at version %d", tag, v)
+	}
+	if got := CanonicalStats(s.Stats()); !reflect.DeepEqual(got, ref.stats) {
+		t.Fatalf("%s: stats diverge at version %d:\n got %+v\nwant %+v", tag, v, got, ref.stats)
+	}
+	if fp := s.TopologyFingerprint(); fp != ref.fp {
+		t.Fatalf("%s: topology fingerprint diverges at version %d: %x vs %x", tag, v, fp, ref.fp)
+	}
+	if rep := s.AuditState(0); !rep.Valid() {
+		t.Fatalf("%s: post-recovery audit: %v", tag, rep.Err())
+	}
+	return v
+}
+
+// mustNewDurable wraps a fresh service in a fresh data dir.
+func mustNewDurable(t *testing.T, base *graph.CSR, dir string, opts Options, dopts DurableOptions) *Durable {
+	t.Helper()
+	dopts.Dir = dir
+	d, err := NewDurable(mustService(t, base, slackInstance(base), opts), dopts)
+	if err != nil {
+		t.Fatalf("NewDurable: %v", err)
+	}
+	return d
+}
+
+// TestDurableLifecycle: the plain path — apply, close cleanly, reopen,
+// nothing to replay, state intact, and writes resume.
+func TestDurableLifecycle(t *testing.T) {
+	base := graph.StreamedRing(48)
+	script := churnScript(base, 10, 8, 11)
+	fillSetLists(script, slackInstance(base).Space)
+	refs := referenceRun(t, base, script, Options{})
+	dir := t.TempDir()
+	d := mustNewDurable(t, base, dir, Options{}, DurableOptions{Sync: SyncBatch, CheckpointEvery: 4})
+	for _, ops := range script[:6] {
+		if _, err := d.ApplyBatch(ops); err != nil && !errors.Is(err, ErrOp) {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	d2, info, err := OpenDurable(Options{}, DurableOptions{Dir: dir, Sync: SyncBatch, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// A clean close checkpoints, so nothing replays.
+	if info.ReplayedBatches != 0 || info.Tail != nil {
+		t.Fatalf("clean reopen replayed %d batches, tail %v", info.ReplayedBatches, info.Tail)
+	}
+	if v := diffAgainstRef(t, "clean reopen", d2, refs); v != 6 {
+		t.Fatalf("recovered version %d, want 6", v)
+	}
+	for _, ops := range script[6:] {
+		if _, err := d2.ApplyBatch(ops); err != nil && !errors.Is(err, ErrOp) {
+			t.Fatalf("resume apply: %v", err)
+		}
+	}
+	if v := diffAgainstRef(t, "resumed run", d2, refs); v != uint64(len(script)) {
+		t.Fatalf("final version %d, want %d", v, len(script))
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Stats surface sanity.
+	ds := d2.DurabilityStats()
+	if ds.SyncMode != "batch" || ds.Checkpoints == 0 {
+		t.Fatalf("durability stats: %+v", ds)
+	}
+}
+
+// TestDurableRefusesReinit: NewDurable on a dir that already holds a
+// checkpoint must refuse rather than clobber durable state.
+func TestDurableRefusesReinit(t *testing.T) {
+	base := graph.StreamedRing(16)
+	dir := t.TempDir()
+	d := mustNewDurable(t, base, dir, Options{}, DurableOptions{})
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewDurable(mustService(t, base, slackInstance(base), Options{}), DurableOptions{Dir: dir})
+	if err == nil {
+		t.Fatal("NewDurable clobbered an existing data dir")
+	}
+}
+
+// TestRecoveryKillPointDifferential is the acceptance matrix: for
+// every batch boundary the writer is killed at (Abort — the process
+// is simply gone), recovery must land exactly on that boundary's
+// reference state; the run then continues to the same final state the
+// uninterrupted reference reaches.
+func TestRecoveryKillPointDifferential(t *testing.T) {
+	base := graph.StreamedRing(64)
+	const batches = 18
+	script := churnScript(base, batches, 10, 7)
+	fillSetLists(script, slackInstance(base).Space)
+	refs := referenceRun(t, base, script, Options{})
+	for kill := 0; kill <= batches; kill++ {
+		dir := t.TempDir()
+		d := mustNewDurable(t, base, dir, Options{}, DurableOptions{Sync: SyncBatch, CheckpointEvery: 5})
+		for _, ops := range script[:kill] {
+			if _, err := d.ApplyBatch(ops); err != nil && !errors.Is(err, ErrOp) {
+				t.Fatalf("kill=%d: apply: %v", kill, err)
+			}
+		}
+		d.Abort()
+		d2, info, err := OpenDurable(Options{}, DurableOptions{Dir: dir, Sync: SyncBatch, CheckpointEvery: 5})
+		if err != nil {
+			t.Fatalf("kill=%d: open: %v", kill, err)
+		}
+		tag := fmt.Sprintf("kill=%d", kill)
+		if v := diffAgainstRef(t, tag, d2, refs); v != uint64(kill) {
+			// SyncBatch writes through per batch: a boundary kill loses
+			// nothing.
+			t.Fatalf("%s: recovered version %d, want %d (tail=%v ckpt=%d)",
+				tag, v, kill, info.Tail, info.CheckpointVersion)
+		}
+		for _, ops := range script[kill:] {
+			if _, err := d2.ApplyBatch(ops); err != nil && !errors.Is(err, ErrOp) {
+				t.Fatalf("%s: continue: %v", tag, err)
+			}
+		}
+		diffAgainstRef(t, tag+" final", d2, refs)
+		if v := d2.Service().Snapshot().Version; v != uint64(batches) {
+			t.Fatalf("%s: final version %d", tag, v)
+		}
+		d2.Close()
+	}
+}
+
+// TestRecoveryMidRecordTearDifferential kills the writer MID-RECORD:
+// the armed crash puts a seed-drawn prefix of batch k's record on
+// disk. Recovery must discard the torn tail and land on version k —
+// the differential then continues the script from there.
+func TestRecoveryMidRecordTearDifferential(t *testing.T) {
+	base := graph.StreamedRing(64)
+	const batches = 12
+	script := churnScript(base, batches, 10, 9)
+	fillSetLists(script, slackInstance(base).Space)
+	refs := referenceRun(t, base, script, Options{})
+	for kill := 0; kill < batches; kill++ {
+		for _, draw := range []uint64{1, 0x9e3779b97f4a7c15, 1 << 40} {
+			dir := t.TempDir()
+			d := mustNewDurable(t, base, dir, Options{}, DurableOptions{Sync: SyncBatch, CheckpointEvery: 4})
+			d.ArmCrash(kill, draw)
+			var crashErr error
+			for _, ops := range script {
+				if _, err := d.ApplyBatch(ops); err != nil && !errors.Is(err, ErrOp) {
+					crashErr = err
+					break
+				}
+			}
+			if !errors.Is(crashErr, ErrWALCrashed) {
+				t.Fatalf("kill=%d draw=%x: crash not reported: %v", kill, draw, crashErr)
+			}
+			// A dead Durable refuses further writes.
+			if _, err := d.ApplyBatch(script[0]); !errors.Is(err, ErrWALCrashed) {
+				t.Fatalf("kill=%d: dead durable accepted a write: %v", kill, err)
+			}
+			d.Abort()
+			d2, info, err := OpenDurable(Options{}, DurableOptions{Dir: dir, Sync: SyncBatch, CheckpointEvery: 4})
+			if err != nil {
+				t.Fatalf("kill=%d draw=%x: open: %v", kill, draw, err)
+			}
+			tag := fmt.Sprintf("kill=%d draw=%x", kill, draw)
+			v := diffAgainstRef(t, tag, d2, refs)
+			if v != uint64(kill) {
+				t.Fatalf("%s: recovered version %d, want %d (tail=%v)", tag, v, kill, info.Tail)
+			}
+			// A detected tear must carry its typed reason — never an
+			// untyped discard.
+			if info.Tail != nil && info.Tail.Reason == "" {
+				t.Fatalf("%s: untyped tail", tag)
+			}
+			for _, ops := range script[kill:] {
+				if _, err := d2.ApplyBatch(ops); err != nil && !errors.Is(err, ErrOp) {
+					t.Fatalf("%s: continue: %v", tag, err)
+				}
+			}
+			diffAgainstRef(t, tag+" final", d2, refs)
+			d2.Close()
+		}
+	}
+}
+
+// TestRecoverySyncOffLosesTailOnly: under SyncOff an abort loses the
+// buffered records past the last checkpoint — but what recovers is
+// still exactly a reference prefix, never a corrupted hybrid.
+func TestRecoverySyncOffLosesTailOnly(t *testing.T) {
+	base := graph.StreamedRing(48)
+	const batches = 14
+	script := churnScript(base, batches, 8, 5)
+	fillSetLists(script, slackInstance(base).Space)
+	refs := referenceRun(t, base, script, Options{})
+	dir := t.TempDir()
+	d := mustNewDurable(t, base, dir, Options{}, DurableOptions{Sync: SyncOff, CheckpointEvery: 6})
+	for _, ops := range script {
+		if _, err := d.ApplyBatch(ops); err != nil && !errors.Is(err, ErrOp) {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	d.Abort()
+	d2, _, err := OpenDurable(Options{}, DurableOptions{Dir: dir, Sync: SyncOff, CheckpointEvery: 6})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	v := diffAgainstRef(t, "sync=off", d2, refs)
+	// Checkpoints flush the log, so at most CheckpointEvery batches are
+	// lost — and the last checkpoint is a floor.
+	if v < uint64(batches-6) {
+		t.Fatalf("sync=off lost too much: recovered version %d of %d", v, batches)
+	}
+	for _, ops := range script[v:] {
+		if _, err := d2.ApplyBatch(ops); err != nil && !errors.Is(err, ErrOp) {
+			t.Fatalf("continue: %v", err)
+		}
+	}
+	diffAgainstRef(t, "sync=off final", d2, refs)
+	d2.Close()
+}
+
+// TestRecoveryReadsDuringReplay: the BeforeReplay hook hands out the
+// service while replay is still running — reads must serve the
+// checkpoint snapshot immediately, versions only moving forward.
+func TestRecoveryReadsDuringReplay(t *testing.T) {
+	base := graph.StreamedRing(48)
+	script := churnScript(base, 12, 8, 13)
+	fillSetLists(script, slackInstance(base).Space)
+	dir := t.TempDir()
+	d := mustNewDurable(t, base, dir, Options{}, DurableOptions{Sync: SyncBatch, CheckpointEvery: 100})
+	for _, ops := range script {
+		if _, err := d.ApplyBatch(ops); err != nil && !errors.Is(err, ErrOp) {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	d.Abort() // no final checkpoint: everything past v0 replays
+	sawPending := -1
+	var versions []uint64
+	d2, info, err := OpenDurable(Options{}, DurableOptions{
+		Dir: dir, Sync: SyncBatch,
+		BeforeReplay: func(s *Service, pending int) {
+			sawPending = pending
+			// Reads are live right now, mid-recovery.
+			versions = append(versions, s.Snapshot().Version)
+			if _, _, ok := s.Color(3); !ok {
+				t.Error("Color read failed during recovery")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if sawPending != len(script) {
+		t.Fatalf("BeforeReplay saw %d pending, want %d", sawPending, len(script))
+	}
+	if info.ReplayedBatches != len(script) || info.CheckpointVersion != 0 {
+		t.Fatalf("replay accounting: %+v", info)
+	}
+	if len(versions) != 1 || versions[0] != 0 {
+		t.Fatalf("hook versions: %v", versions)
+	}
+	if ds := d2.DurabilityStats(); ds.RecoveredBatches != len(script) {
+		t.Fatalf("durability stats after recovery: %+v", ds)
+	}
+	d2.Close()
+}
+
+// TestRecoveryFlippedWALByte: post-crash byte damage in an already-
+// synced record is caught by the CRC; recovery truncates to the
+// record before the flip and still matches the reference there.
+func TestRecoveryFlippedWALByte(t *testing.T) {
+	base := graph.StreamedRing(48)
+	const batches = 8
+	script := churnScript(base, batches, 8, 17)
+	fillSetLists(script, slackInstance(base).Space)
+	refs := referenceRun(t, base, script, Options{})
+	dir := t.TempDir()
+	d := mustNewDurable(t, base, dir, Options{}, DurableOptions{Sync: SyncBatch, CheckpointEvery: 100})
+	for _, ops := range script {
+		if _, err := d.ApplyBatch(ops); err != nil && !errors.Is(err, ErrOp) {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	d.Abort()
+	// Flip one byte deep inside the live segment.
+	names, err := listWALSegments(dir)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("segments: %v %v", names, err)
+	}
+	seg := filepath.Join(dir, names[len(names)-1])
+	img, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, flipByte(img, len(img)*2/3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, info, err := OpenDurable(Options{}, DurableOptions{Dir: dir, Sync: SyncBatch})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if info.Tail == nil {
+		t.Fatal("flip not detected")
+	}
+	v := diffAgainstRef(t, "flipped byte", d2, refs)
+	if v >= uint64(batches) {
+		t.Fatalf("flip discarded nothing: version %d", v)
+	}
+	d2.Close()
+}

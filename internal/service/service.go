@@ -637,6 +637,141 @@ func (s *Service) checkConstraints(list, defects []int) ([]int, []int, error) {
 	return outList, outDefects, nil
 }
 
+// stateImage assembles the checkpoint encoder's view of the full
+// service state under the writer lock. The returned image references
+// live instance slices (lists/defects are replaced, never mutated in
+// place, so sharing is safe) but copies colors and topology rows — the
+// encoder may run after the lock drops.
+func (s *Service) stateImage() *checkpointState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.ov.N()
+	cs := &checkpointState{
+		version: s.version,
+		colors:  append([]int(nil), s.colors...),
+		space:   s.inst.Space,
+		lists:   append([][]int(nil), s.inst.Lists...),
+		defects: append([][]int(nil), s.inst.Defects...),
+		rowsUp:  make([][]int, n),
+		totals:  s.totals,
+	}
+	cs.totals.ShardApplied = append([]int64(nil), s.totals.ShardApplied...)
+	cs.totals.ShardRecolored = append([]int64(nil), s.totals.ShardRecolored...)
+	for v := 0; v < n; v++ {
+		row := s.ov.Neighbors(v)
+		i := sort.SearchInts(row, v+1)
+		if i < len(row) {
+			cs.rowsUp[v] = append([]int(nil), row[i:]...)
+		}
+	}
+	return cs
+}
+
+// restoreService rebuilds a Service from a decoded checkpoint: the
+// topology is folded into a fresh CSR, colors and counters are
+// installed verbatim, and no heal runs — the checkpoint was taken at a
+// batch boundary of a valid state, and the recovery differential test
+// pins the restored image byte-identical to the uninterrupted run.
+func restoreService(cs *checkpointState, opts Options) (*Service, error) {
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("service: negative shard count %d", opts.Shards)
+	}
+	n := len(cs.colors)
+	if len(cs.lists) != n || len(cs.rowsUp) != n {
+		return nil, fmt.Errorf("%w: %d colors, %d lists, %d rows", ErrCheckpoint, n, len(cs.lists), len(cs.rowsUp))
+	}
+	base, err := graph.StreamCSR(n, func(emit func(u, v int)) {
+		for u, row := range cs.rowsUp {
+			for _, w := range row {
+				emit(u, w)
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuilding topology: %v", ErrCheckpoint, err)
+	}
+	s := &Service{
+		ov:     graph.NewOverlay(base),
+		inst:   &coloring.Instance{Space: cs.space, Lists: cs.lists, Defects: cs.defects},
+		colors: cs.colors,
+		opts:   opts,
+		start:  time.Now(),
+		topo:   graph.NewTopoView(base),
+	}
+	s.ov.EnableSnapshots()
+	s.version = cs.version
+	s.totals = cs.totals
+	// Shard work-distribution counters are diagnostics of one base
+	// CSR's region bounds; a restored base has different bounds, so
+	// they restart at zero when the shard count changed.
+	if s.shards() > 1 {
+		if len(s.totals.ShardApplied) != s.shards() {
+			s.totals.ShardApplied = make([]int64, s.shards())
+			s.totals.ShardRecolored = make([]int64, s.shards())
+		}
+	} else {
+		s.totals.ShardApplied = nil
+		s.totals.ShardRecolored = nil
+	}
+	s.publish()
+	return s, nil
+}
+
+// TopologyFingerprint returns the FNV-1a structure hash of the current
+// snapshot's topology — the same mixing as graph.CSR.Fingerprint, so
+// the value is identical across representations (patched overlay,
+// compacted CSR, checkpoint-rebuilt base). The recovery differential
+// compares it instead of raw row storage.
+func (s *Service) TopologyFingerprint() uint64 {
+	t := s.snap.Load().Topo
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x int) {
+		u := uint64(x)
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime64
+			u >>= 8
+		}
+	}
+	n := t.N()
+	mix(n)
+	for v := 0; v < n; v++ {
+		row := t.Row(v)
+		mix(len(row))
+		for _, w := range row {
+			mix(w)
+		}
+	}
+	return h
+}
+
+// CanonicalStats zeroes the representation- and time-dependent fields
+// of a Stats: Patched and Compactions depend on the overlay's current
+// patch layout (a recovered service starts from a freshly compacted
+// base), the shard diagnostics depend on the region bounds of that
+// base, and the rates are read-time derivatives. What remains is a
+// pure function of the applied op stream — the exact account recovery
+// must reproduce byte-identically.
+func CanonicalStats(st Stats) Stats {
+	st.Patched = 0
+	st.Compactions = 0
+	st.UpdatesPerSec = 0
+	st.RecolorLocality = 0
+	st.UptimeSec = 0
+	st.Shards = 0
+	st.ParallelBatches = 0
+	st.DeferredOps = 0
+	st.ApplyFallbacks = 0
+	st.RepairFallbacks = 0
+	st.ShardApplied = nil
+	st.ShardRecolored = nil
+	return st
+}
+
 // ValidateState runs a full conflict scan of the current topology
 // against the current coloring — the between-batches validity check
 // the soak tests call. It takes the writer lock; not for hot paths.
